@@ -1,0 +1,13 @@
+"""Figure 4: tensor count/size characteristics."""
+
+from benchmarks.conftest import emit
+from repro.eval import fig04_tensor_stats as fig
+
+
+def test_fig04(once):
+    result = once(fig.run)
+    emit("fig04_tensor_stats", fig.render(result))
+    assert result.max_count < 450  # "only a few hundred"
+    assert all(row.max_tensor_mib > 1.0 for row in result.rows)  # MB scale
+    largest = max(row.max_layer_tensor_mib for row in result.rows)
+    assert largest > 100  # 100s of MB for the biggest models

@@ -1,0 +1,13 @@
+"""Figure 5: GPT2-M breakdown, non-secure vs SGX+MGX."""
+
+from benchmarks.conftest import emit
+from repro.eval import fig05_breakdown as fig
+
+
+def test_fig05(once):
+    result = once(fig.run)
+    emit("fig05_breakdown", fig.render(result))
+    ns_comm = result.comm_fraction(result.non_secure)
+    base_comm = result.comm_fraction(result.baseline)
+    assert base_comm > 0.25  # paper: 53%
+    assert base_comm > 5 * ns_comm  # paper: 12% -> 53%

@@ -1,0 +1,14 @@
+"""Figure 16: overall speedup across the Table-2 zoo."""
+
+from benchmarks.conftest import emit
+from repro.eval import fig16_overall as fig
+
+
+def test_fig16(once):
+    result = once(fig.run)
+    emit("fig16_overall", fig.render(result))
+    assert 3.0 < result.mean_speedup < 5.0  # paper avg: 4.0x
+    assert result.max_speedup < 7.0  # paper max: 5.5x
+    assert 0.0 <= result.mean_overhead < 0.04  # paper: 2.1%
+    speedups = [r.speedup for r in result.rows]
+    assert speedups[-1] > 1.8 * speedups[0]  # grows with model size

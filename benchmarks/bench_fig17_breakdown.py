@@ -1,0 +1,15 @@
+"""Figure 17: per-model stage breakdowns under all three configurations."""
+
+from benchmarks.conftest import emit
+from repro.eval import fig17_breakdown as fig
+
+
+def test_fig17(once):
+    result = once(fig.run)
+    emit("fig17_breakdown", fig.render(result))
+    for by_mode in result.breakdowns.values():
+        base = by_mode["sgx+mgx"].fractions()
+        ours = by_mode["tensortee"].fractions()
+        base_comm = base["Comm W"] + base["Comm G"]
+        ours_comm = ours["Comm W"] + ours["Comm G"]
+        assert base_comm > ours_comm  # comm eliminated by TensorTEE

@@ -1,0 +1,13 @@
+"""Figure 18: Meta Table hit-rate convergence (scaled functional run)."""
+
+from benchmarks.conftest import emit
+from repro.eval import fig18_hit_rate as fig
+
+
+def test_fig18(once):
+    result = once(fig.run)
+    emit("fig18_hit_rate", fig.render(result))
+    assert result.records[1].hit_all > 0.6  # high after one iteration
+    assert result.hit_in_at(5) > 0.6  # paper: ~80% by iter 5
+    assert result.hit_in_at(19) > 0.9  # paper: ~95% by iter 20
+    assert result.hit_in_at(19) > result.hit_in_at(1)  # converging

@@ -1,0 +1,17 @@
+"""Figure 20: MAC granularity sweep on the NPU."""
+
+from benchmarks.conftest import emit
+from repro.eval import fig20_mac_granularity as fig
+
+
+def test_fig20(benchmark):
+    result = benchmark(fig.run)
+    emit("fig20_mac_granularity", fig.render(result))
+    fine = result.row("64B")
+    coarse = result.row("4096B")
+    mid = result.row("512B")
+    ours = result.row("tensor(ours)")
+    assert 0.09 < fine.perf_overhead < 0.14  # paper ~12%
+    assert 0.11 < coarse.perf_overhead < 0.15  # paper ~13%
+    assert mid.perf_overhead < fine.perf_overhead  # dip in the middle
+    assert ours.perf_overhead < 0.03 and ours.storage_overhead == 0.0

@@ -1,0 +1,16 @@
+"""Figure 21: gradient-transfer breakdown and improvement."""
+
+from benchmarks.conftest import emit
+from repro.eval import fig21_comm as fig
+
+
+def test_fig21(once):
+    result = once(fig.run)
+    emit("fig21_comm", fig.render(result))
+    # Baseline pays re-encryption + decryption around every link transfer.
+    for row in result.rows:
+        assert row.reenc_s > 0 and row.dec_s > 0
+        assert row.baseline_total_s > 3 * row.link_s
+    # Paper reports 18.7x; our busy/exposed accountings bracket it.
+    assert result.mean_busy_improvement > 4.0
+    assert result.mean_exposed_improvement > 18.7

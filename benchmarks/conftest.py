@@ -1,0 +1,30 @@
+"""Benchmark harness conventions.
+
+Each ``bench_*`` file regenerates one paper table/figure: the benchmark
+measures the experiment's runtime, and the rendered rows/series are written
+to ``results/`` (and echoed through pytest's captured stdout). Shape
+assertions guard the paper-claim properties so a regression in the models
+fails the bench, not just the unit tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(name: str, text: str) -> None:
+    """Persist and print a rendered experiment."""
+    from repro.eval.tables import save_result
+
+    path = save_result(name, text)
+    print(f"\n[{name}] -> {path}\n{text}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

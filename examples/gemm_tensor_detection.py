@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""TenAnalyzer detecting tiled tensors in a GEMM (Sec. 6.2, Fig. 11b).
+
+Runs the paper's 256x256 matrix multiply with 64x64 tiles through the
+functional TenAnalyzer and shows how the short tile-row entries are merged
+across four directions into whole-matrix entries, reaching the ~98.8%
+hit_in rate the paper reports on the pass after detection.
+
+Run: python examples/gemm_tensor_detection.py
+"""
+
+from repro.cpu.gemm import GemmExperiment
+from repro.workloads.traces import GemmConfig
+
+
+def main() -> None:
+    experiment = GemmExperiment(GemmConfig(m=256, n=256, k=256,
+                                           tile_m=64, tile_n=64, tile_k=64))
+    print("pass 0: cold detection (tile rows -> filter -> strided merges)")
+    for pass_index in range(3):
+        stats = experiment.run_pass()
+        print(f"  pass {stats.pass_index}: hit_in={stats.hit_in:.3f} "
+              f"hit_boundary={stats.hit_boundary:.3f} hit_all={stats.hit_all:.3f} "
+              f"entries={stats.n_entries}")
+    print("\nsurviving Meta Table entries (merged geometry):")
+    for entry in sorted(experiment.analyzer.table.entries(),
+                        key=lambda e: e.geometry.base_va):
+        g = entry.geometry
+        kind = "contiguous" if g.is_contiguous else f"2D stride={g.stride_lines}"
+        print(f"  base={g.base_va:#x} lines={g.n_lines:5d} ({kind}) "
+              f"vn={entry.vn} source={entry.source}")
+    merges = experiment.analyzer.stats.scope("meta_table")["merges"]
+    print(f"\ntotal merges performed: {merges:.0f} "
+          "(paper: one GEMM suffices to build the structures, 98.8% hit_in)")
+
+
+if __name__ == "__main__":
+    main()

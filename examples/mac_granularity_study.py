@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""MAC-granularity design-space study (Fig. 20) with an ablation.
+
+Sweeps the NPU MAC granularity from 64 B to 4 KB plus TensorTEE's
+tensor-wise delayed scheme, then ablates the two mechanisms that make the
+sweep look the way it does: the DMA stall window (how much of a granule's
+verification wait the pipeline can hide) and the delayed-verification
+barrier tail.
+
+Run: python examples/mac_granularity_study.py
+"""
+
+from repro.eval import fig20_mac_granularity as fig
+from repro.eval.tables import ascii_table
+from repro.npu.config import NpuConfig
+from repro.npu.mac import MacScheme
+from repro.units import KiB
+
+
+def main() -> None:
+    print(fig.render(fig.run()))
+
+    print("\nAblation 1 — stall window (DMA streaming depth):")
+    rows = []
+    for window_kib in (8, 16, 32, 64):
+        config = NpuConfig(stall_window_bytes=window_kib * KiB)
+        overheads = [
+            f"{MacScheme(f'{g}', g).performance_overhead(config) * 100:.1f}%"
+            for g in (256, 1024, 4096)
+        ]
+        rows.append((f"{window_kib} KiB", *overheads))
+    print(ascii_table(["window", "256B", "1KB", "4KB"], rows))
+    print("  -> deeper streaming hides more of the granule wait; the paper's")
+    print("     13% @4KB corresponds to the 32 KiB default.")
+
+    print("\nAblation 2 — delayed verification barrier tail:")
+    rows = []
+    for tail in (0.01, 0.025, 0.05):
+        config = NpuConfig(barrier_tail_fraction=tail)
+        ours = MacScheme("tensor", 0, delayed=True)
+        rows.append((f"{tail * 100:.1f}%", f"{ours.performance_overhead(config) * 100:.1f}%"))
+    print(ascii_table(["configured tail", "tensor-wise overhead"], rows))
+    print("  -> the 2.5% the paper reports is purely the barrier/bookkeeping")
+    print("     tail; storage stays on-chip at any setting.")
+
+    print("\nNon-delayed tensor-wise (Fig. 13b ablation):")
+    config = NpuConfig()
+    eager = MacScheme("tensor-eager", 0, delayed=False)
+    print(f"  whole-tensor MAC verified *before* compute: "
+          f"{eager.performance_overhead(config) * 100:.0f}% overhead "
+          "(the stall Fig. 13b shows, and why delaying matters)")
+
+
+if __name__ == "__main__":
+    main()

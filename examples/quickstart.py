@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: attest two enclaves and move tensors without re-encryption.
+
+Walks the whole TensorTEE story in ~40 lines of API:
+
+1. enclave creation + mutual attestation + DH key exchange,
+2. a CPU-side tensor written through TenAnalyzer + the functional MEE,
+3. a direct (no re-encryption) transfer to the NPU and back,
+4. the verification barrier guarding what leaves the NPU enclave.
+
+Run: python examples/quickstart.py
+"""
+
+from repro.comm.direct import DirectTransferProtocol
+from repro.tee.device import CpuSecureDevice, NpuSecureDevice
+from repro.tee.enclave import Enclave, TrustDomain, mutual_attestation
+from repro.tensor.dtype import DType
+
+
+def main() -> None:
+    # -- authentication phase (Sec. 4.4.2) ---------------------------------
+    domain = TrustDomain()
+    cpu_enclave = Enclave("cpu", code=b"optimizer binary")
+    npu_enclave = Enclave("npu", code=b"training kernels")
+    cpu_enclave.create(dh_seed=7)
+    npu_enclave.create(dh_seed=8)
+    session_keys, _ = mutual_attestation(cpu_enclave, npu_enclave, domain)
+    print("attestation OK — both enclaves hold the same session keys")
+
+    cpu = CpuSecureDevice(*session_keys)
+    npu = NpuSecureDevice(*session_keys)
+    protocol = DirectTransferProtocol(cpu, npu, session_keys)
+
+    # -- CPU -> NPU weight transfer -----------------------------------------
+    w_cpu = cpu.allocate("layer0.weight16", (1024,), DType.FP16)
+    w_npu = npu.allocate("layer0.weight16", (1024,), DType.FP16)
+    weights = bytes(i % 251 for i in range(w_cpu.nbytes))
+    cpu.write_tensor(w_cpu, weights)
+    protocol.cpu_to_npu(w_cpu, w_npu)
+    received = npu.read_tensor_delayed(w_npu)
+    assert received == weights
+    print(f"weights: {w_cpu.nbytes} B moved CPU->NPU as raw ciphertext, "
+          "decrypted + verified on the NPU")
+
+    # -- NPU -> CPU gradient transfer (barrier enforced) ---------------------
+    g_npu = npu.allocate("layer0.grad32", (1024,), DType.FP32)
+    g_cpu = cpu.allocate("layer0.grad32", (1024,), DType.FP32)
+    grads = bytes((3 * i) % 256 for i in range(g_npu.nbytes))
+    npu.write_tensor(g_npu, grads)
+    protocol.npu_to_cpu(g_npu, g_cpu)
+    assert cpu.read_tensor(g_cpu) == grads
+    entry = cpu.analyzer.table.entry_of(g_cpu.base_va)
+    print(f"gradients: {g_npu.nbytes} B moved NPU->CPU; transfer descriptor "
+          f"installed a Meta Table entry (vn={entry.vn})")
+
+    hits = cpu.analyzer.hit_rates()
+    print(f"CPU TenAnalyzer read hits so far: hit_in={hits['hit_in']:.2f} "
+          f"hit_all={hits['hit_all']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Compatibility shim: enables ``pip install -e .`` on environments whose
+setuptools lacks PEP-660 editable-wheel support (no ``wheel`` package).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""TensorTEE reproduction (ASPLOS 2024).
+
+Public API surface: the secure devices, the transfer protocols, the
+end-to-end system model and the workload zoo. Subsystems are importable as
+``repro.crypto``, ``repro.cpu``, ``repro.npu``, ``repro.comm``,
+``repro.tee``, ``repro.workloads``, ``repro.core`` and ``repro.eval``.
+"""
+
+from repro.core.config import (
+    SystemConfig,
+    SystemMode,
+    baseline_system,
+    non_secure_system,
+    tensortee_system,
+)
+from repro.core.system import CollaborativeSystem
+from repro.tee.device import CpuSecureDevice, NpuSecureDevice
+from repro.tee.enclave import Enclave, TrustDomain, mutual_attestation
+from repro.workloads.models import MODEL_ZOO, model_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "SystemMode",
+    "baseline_system",
+    "non_secure_system",
+    "tensortee_system",
+    "CollaborativeSystem",
+    "CpuSecureDevice",
+    "NpuSecureDevice",
+    "Enclave",
+    "TrustDomain",
+    "mutual_attestation",
+    "MODEL_ZOO",
+    "model_by_name",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""CPU<->NPU communication: links, protocols, overlap scheduling."""
+
+from repro.comm.pcie import PcieLink
+from repro.comm.aes_engine import AesEngine
+from repro.comm.channel import TrustedChannel
+from repro.comm.scheduler import CommConfig, TransferTiming
+
+__all__ = ["PcieLink", "AesEngine", "TrustedChannel", "CommConfig", "TransferTiming"]

@@ -1,0 +1,38 @@
+"""AES engine bandwidth model (Sec. 3.3).
+
+The paper's key observation: one fully-pipelined AES engine provides about
+8 GB/s — not even enough for NPU compute IO (>= 20 GB/s), so baseline
+re-encryption for communication serializes against computation. TensorTEE
+assumes one engine per memory channel; the *communication path* in the
+baseline still has to re-encrypt through these engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import gb_per_s
+
+
+@dataclass(frozen=True)
+class AesEngine:
+    """A fixed-throughput cryptographic engine."""
+
+    name: str = "aes"
+    bandwidth: float = gb_per_s(8.0)
+    n_engines: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.n_engines <= 0:
+            raise ConfigError("engine bandwidth/count must be positive")
+
+    @property
+    def total_bandwidth(self) -> float:
+        return self.bandwidth * self.n_engines
+
+    def crypt_time(self, nbytes: float) -> float:
+        """Time to encrypt or decrypt ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError("cannot encrypt negative bytes")
+        return nbytes / self.total_bandwidth

@@ -1,0 +1,35 @@
+"""PCIe link model (Table 1: PCIe 4.0 x16).
+
+The raw link is ~32 GB/s; sustained host<->device tensor copies achieve a
+fraction of that once protocol overhead, non-pinned staging and
+synchronization are paid — we model the effective rate the paper's
+communication volumes imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import gb_per_s
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """Point-to-point link with an effective bandwidth and base latency."""
+
+    name: str = "pcie4x16"
+    effective_bw: float = gb_per_s(10.0)
+    base_latency_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.effective_bw <= 0 or self.base_latency_s < 0:
+            raise ConfigError("link parameters must be positive")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over the link."""
+        if nbytes < 0:
+            raise ConfigError("cannot transfer negative bytes")
+        if nbytes == 0:
+            return 0.0
+        return self.base_latency_s + nbytes / self.effective_bw

@@ -1,0 +1,119 @@
+"""Transfer timing and compute/communication overlap (Secs. 3.3, 4.4, 6.4).
+
+Three protocol timings:
+
+- **plain** (non-secure): DMA over PCIe; gradient transfer streams behind
+  backward layer by layer (all but the last chunk hidden), weight upload is
+  exposed before the next forward (the ZeRO-Offload schedule, Fig. 5).
+- **graviton** (baseline, Fig. 6a): the sender decrypts enclave memory and
+  re-encrypts into a non-secure staging buffer (bounded by the AES engine),
+  transfers, and the receiver decrypts + re-encrypts into its enclave.
+  AES/DRAM contention forbids overlap with computation (Fig. 7), so the
+  whole chain is exposed.
+- **direct** (TensorTEE, Fig. 6b): metadata over the trusted channel in
+  parallel with a raw ciphertext DMA; no AES on the transfer path, so the
+  transfer overlaps computation like the non-secure case (Fig. 15), plus a
+  small verification-barrier synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.aes_engine import AesEngine
+from repro.comm.pcie import PcieLink
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Link + engine configuration shared by all protocols."""
+
+    link: PcieLink = field(default_factory=PcieLink)
+    npu_aes: AesEngine = field(default_factory=AesEngine)
+    cpu_aes: AesEngine = field(default_factory=lambda: AesEngine(name="cpu-aes"))
+    #: Verification-barrier synchronization before a direct transfer
+    #: (MAC comparison + poison check, a few microseconds).
+    barrier_sync_s: float = 20e-6
+    #: Per-tensor metadata message cost on the trusted channel.
+    metadata_msg_s: float = 2e-6
+
+
+@dataclass(frozen=True)
+class TransferTiming:
+    """Exposed (non-overlapped) time and total occupancy of one transfer."""
+
+    exposed_s: float
+    busy_s: float
+    reenc_s: float = 0.0
+    link_s: float = 0.0
+    dec_s: float = 0.0
+
+
+def plain_transfer(
+    config: CommConfig,
+    nbytes: float,
+    overlap_fraction: float,
+    compute_window_s: float,
+) -> TransferTiming:
+    """Non-secure DMA with partial overlap under a compute window."""
+    if not 0 <= overlap_fraction <= 1:
+        raise ConfigError("overlap fraction must be in [0, 1]")
+    link_s = config.link.transfer_time(nbytes)
+    hideable = min(link_s * overlap_fraction, max(0.0, compute_window_s))
+    return TransferTiming(
+        exposed_s=link_s - hideable,
+        busy_s=link_s,
+        link_s=link_s,
+    )
+
+
+def graviton_transfer(config: CommConfig, nbytes: float, sender_is_npu: bool) -> TransferTiming:
+    """Baseline protocol: decrypt -> staging -> transfer -> re-encrypt.
+
+    Every byte is decrypted out of the sender's enclave and re-encrypted
+    into a non-secure staging region (one AES pass each way on the sender),
+    moved over PCIe, then decrypted and re-encrypted by the receiver. The
+    sender/receiver AES passes are limited by their engines; nothing
+    overlaps computation (AES and DRAM bandwidth contention, Sec. 3.3).
+    """
+    sender = config.npu_aes if sender_is_npu else config.cpu_aes
+    receiver = config.cpu_aes if sender_is_npu else config.npu_aes
+    reenc_s = sender.crypt_time(nbytes) * 2  # decrypt + re-encrypt to staging
+    link_s = config.link.transfer_time(nbytes)
+    dec_s = receiver.crypt_time(nbytes) * 2  # decrypt staging + enclave re-encrypt
+    exposed = reenc_s + link_s + dec_s
+    return TransferTiming(
+        exposed_s=exposed,
+        busy_s=exposed,
+        reenc_s=reenc_s,
+        link_s=link_s,
+        dec_s=dec_s,
+    )
+
+
+def direct_transfer(
+    config: CommConfig,
+    nbytes: float,
+    overlap_fraction: float,
+    compute_window_s: float,
+    n_tensors: int = 1,
+) -> TransferTiming:
+    """TensorTEE protocol: trusted metadata + raw ciphertext DMA.
+
+    The ciphertext moves without touching an AES engine, so the transfer
+    overlaps computation exactly like the non-secure DMA; the metadata
+    messages ride the trusted channel in parallel (only the barrier
+    synchronization is exposed).
+    """
+    if n_tensors <= 0:
+        raise ConfigError("a transfer involves at least one tensor")
+    link_s = config.link.transfer_time(nbytes)
+    metadata_s = n_tensors * config.metadata_msg_s
+    hideable = min(link_s * overlap_fraction, max(0.0, compute_window_s))
+    exposed = (link_s - hideable) + config.barrier_sync_s + max(0.0, metadata_s - link_s)
+    return TransferTiming(
+        exposed_s=exposed,
+        busy_s=link_s + metadata_s,
+        link_s=link_s,
+    )

@@ -1,0 +1,7 @@
+"""End-to-end collaborative system: configurations, simulator, results."""
+
+from repro.core.config import SystemConfig, SystemMode
+from repro.core.results import StageBreakdown
+from repro.core.system import CollaborativeSystem
+
+__all__ = ["SystemConfig", "SystemMode", "StageBreakdown", "CollaborativeSystem"]

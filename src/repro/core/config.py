@@ -1,0 +1,47 @@
+"""System-level configuration: the three evaluated setups (Sec. 5.2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.comm.scheduler import CommConfig
+from repro.cpu.config import CpuConfig
+from repro.npu.config import NpuConfig
+
+
+class SystemMode(enum.Enum):
+    """The three configurations compared throughout the evaluation."""
+
+    NON_SECURE = "non-secure"
+    SGX_MGX = "sgx+mgx"  # baseline: SGX-like CPU TEE + MGX-like NPU TEE
+    TENSORTEE = "tensortee"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Whole-system configuration (Table 1 + protocol choices)."""
+
+    mode: SystemMode
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    npu: NpuConfig = field(default_factory=NpuConfig)
+    comm: CommConfig = field(default_factory=CommConfig)
+    cpu_threads: int = 8
+    #: MGX-style MAC granularity used by the baseline NPU TEE (bytes).
+    baseline_mac_granule: int = 512
+
+    @property
+    def label(self) -> str:
+        return self.mode.value
+
+
+def non_secure_system() -> SystemConfig:
+    return SystemConfig(mode=SystemMode.NON_SECURE)
+
+
+def baseline_system() -> SystemConfig:
+    return SystemConfig(mode=SystemMode.SGX_MGX)
+
+
+def tensortee_system() -> SystemConfig:
+    return SystemConfig(mode=SystemMode.TENSORTEE)

@@ -1,0 +1,42 @@
+"""Result records for end-to-end runs (Figs. 5, 16, 17)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Per-iteration latency decomposition of one (model, mode) pair.
+
+    ``comm_w`` / ``comm_g`` are *exposed* (non-overlapped) transfer times;
+    their busy times are recorded separately for utilization reporting.
+    """
+
+    model_name: str
+    mode: str
+    npu_s: float
+    cpu_s: float
+    comm_w_s: float
+    comm_g_s: float
+    comm_w_busy_s: float = 0.0
+    comm_g_busy_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.npu_s + self.cpu_s + self.comm_w_s + self.comm_g_s
+
+    def fractions(self) -> Dict[str, float]:
+        """Stage shares of the total (the Fig. 5 / Fig. 17 stacked bars)."""
+        total = max(self.total_s, 1e-30)
+        return {
+            "NPU": self.npu_s / total,
+            "CPU": self.cpu_s / total,
+            "Comm W": self.comm_w_s / total,
+            "Comm G": self.comm_g_s / total,
+        }
+
+    def speedup_over(self, other: "StageBreakdown") -> float:
+        """How much faster *self* is than ``other``."""
+        return other.total_s / max(self.total_s, 1e-30)

@@ -1,0 +1,174 @@
+"""End-to-end collaborative training iteration model (Figs. 5, 16, 17).
+
+Composes the stage models along the ZeRO-Offload schedule (Fig. 1):
+
+1. NPU fwd+bwd (systolic roofline x NPU-TEE MAC overhead),
+2. NPU->CPU gradient transfer (protocol-dependent, may overlap backward),
+3. CPU Adam (multicore memory model x CPU-TEE mode costs),
+4. CPU->NPU weight transfer (protocol-dependent, may overlap compute).
+
+The TensorTEE CPU costs use the *steady-state* TenAnalyzer hit rates
+measured functionally by a scaled Adam experiment (LLM training runs tens
+of thousands of iterations; the detection transient of Fig. 19 is
+negligible, Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict
+
+from repro.comm.scheduler import (
+    CommConfig,
+    TransferTiming,
+    direct_transfer,
+    graviton_transfer,
+    plain_transfer,
+)
+from repro.core.config import SystemConfig, SystemMode
+from repro.core.results import StageBreakdown
+from repro.cpu.adam import AdamExperiment, AdamExperimentConfig
+from repro.cpu.sgx import sgx_costs
+from repro.cpu.tensortee_mode import AnalyzerRates, tensortee_costs
+from repro.cpu.timing import ModeCosts, adam_latency, non_secure_costs
+from repro.errors import ConfigError
+from repro.npu.config import NpuConfig
+from repro.npu.kernels import iteration_time_s
+from repro.npu.mac import MacScheme
+from repro.units import GiB
+from repro.workloads.models import ModelConfig
+from repro.workloads.zero_offload import ZeroOffloadSchedule
+
+
+@lru_cache(maxsize=4)
+def steady_state_rates(iterations: int = 8, seed: int = 2024) -> AnalyzerRates:
+    """Measured steady-state TenAnalyzer rates from the scaled experiment.
+
+    Transfer-descriptor installs are on: in the collaborative system the
+    gradient/weight tensors appear in transfer instructions (Sec. 4.2).
+    """
+    experiment = AdamExperiment(
+        AdamExperimentConfig(
+            n_layers=8,
+            lines_per_tensor=128,
+            threads=8,
+            meta_table_capacity=512,
+            install_transfer_descriptors=True,
+            seed=seed,
+        )
+    )
+    records = experiment.run(iterations)
+    return records[-1].rates
+
+
+class CollaborativeSystem:
+    """One configured CPU+NPU system; evaluates models per iteration."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    # -- per-stage models ------------------------------------------------------
+
+    def _npu_overhead(self) -> float:
+        mode = self.config.mode
+        if mode is SystemMode.NON_SECURE:
+            return 0.0
+        if mode is SystemMode.SGX_MGX:
+            scheme = MacScheme("mgx", self.config.baseline_mac_granule)
+            return scheme.performance_overhead(self.config.npu)
+        scheme = MacScheme("tensor", 0, delayed=True)
+        return scheme.performance_overhead(self.config.npu)
+
+    def _cpu_costs(self, protected_bytes: float) -> ModeCosts:
+        mode = self.config.mode
+        threads = self.config.cpu_threads
+        protected = max(int(protected_bytes), 1 << 30)
+        if mode is SystemMode.NON_SECURE:
+            return non_secure_costs()
+        if mode is SystemMode.SGX_MGX:
+            return sgx_costs(self.config.cpu, protected_bytes=protected, threads=threads)
+        return tensortee_costs(
+            self.config.cpu,
+            steady_state_rates(),
+            threads=threads,
+            protected_bytes=protected,
+        )
+
+    def _transfer(
+        self,
+        nbytes: float,
+        overlap_fraction: float,
+        compute_window_s: float,
+        sender_is_npu: bool,
+        n_tensors: int,
+    ) -> TransferTiming:
+        comm = self.config.comm
+        mode = self.config.mode
+        if mode is SystemMode.NON_SECURE:
+            return plain_transfer(comm, nbytes, overlap_fraction, compute_window_s)
+        if mode is SystemMode.SGX_MGX:
+            return graviton_transfer(comm, nbytes, sender_is_npu=sender_is_npu)
+        return direct_transfer(
+            comm, nbytes, overlap_fraction, compute_window_s, n_tensors=n_tensors
+        )
+
+    # -- iteration ------------------------------------------------------------
+
+    def iteration_breakdown(self, model: ModelConfig) -> StageBreakdown:
+        """Latency decomposition of one training iteration of ``model``."""
+        schedule = ZeroOffloadSchedule(model)
+        volumes = schedule.volumes()
+        grad_overlap, weight_overlap = schedule.overlap_fractions()
+
+        npu_base = iteration_time_s(self.config.npu, model)
+        npu_s = npu_base * (1.0 + self._npu_overhead())
+
+        costs = self._cpu_costs(volumes.cpu_adam_bytes)
+        cpu_s = adam_latency(
+            self.config.cpu, volumes.n_params, self.config.cpu_threads, costs
+        ).total_s
+
+        # Gradients stream underneath backward (~2/3 of fwd+bwd) and the
+        # per-layer CPU optimizer that starts as each layer's chunk lands.
+        grad_window = npu_s * (2.0 / 3.0) + cpu_s * 0.8
+        n_layer_tensors = max(1, model.n_layers)
+        comm_g = self._transfer(
+            volumes.grad_bytes,
+            grad_overlap,
+            grad_window,
+            sender_is_npu=True,
+            n_tensors=n_layer_tensors,
+        )
+        # Weight upload streams layer-by-layer behind the optimizer tail and
+        # the next forward whenever the protocol permits transfer/compute
+        # concurrency — the non-secure DMA and TensorTEE's direct channel
+        # both do; the baseline serializes (graviton_transfer ignores the
+        # overlap arguments).
+        weight_window = cpu_s * 0.5 + npu_s / 3.0
+        comm_w = self._transfer(
+            volumes.weight_bytes,
+            weight_overlap,
+            weight_window,
+            sender_is_npu=False,
+            n_tensors=n_layer_tensors,
+        )
+        return StageBreakdown(
+            model_name=model.name,
+            mode=self.config.label,
+            npu_s=npu_s,
+            cpu_s=cpu_s,
+            comm_w_s=comm_w.exposed_s,
+            comm_g_s=comm_g.exposed_s,
+            comm_w_busy_s=comm_w.busy_s,
+            comm_g_busy_s=comm_g.busy_s,
+        )
+
+
+def compare_modes(model: ModelConfig, configs: Dict[str, SystemConfig]) -> Dict[str, StageBreakdown]:
+    """Evaluate one model under several system configurations."""
+    if not configs:
+        raise ConfigError("need at least one configuration")
+    return {
+        label: CollaborativeSystem(config).iteration_breakdown(model)
+        for label, config in configs.items()
+    }

@@ -1,0 +1,6 @@
+"""CPU-side TEE models: SGX baseline, SoftVN baseline, and TenAnalyzer."""
+
+from repro.cpu.config import CpuConfig
+from repro.cpu.tenanalyzer import TenAnalyzer
+
+__all__ = ["CpuConfig", "TenAnalyzer"]

@@ -1,0 +1,61 @@
+"""CPU configuration (Table 1) and timing calibration parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.mem.dram import DramTimingModel, ddr4_2400_2ch
+from repro.units import KiB
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Table-1 CPU system plus the calibration constants of DESIGN.md Sec. 5.
+
+    The calibration constants were fit once against the paper's reported
+    ratios (Fig. 3 / Fig. 19: SGX 2.64x @4 threads, 3.65x @8 threads for the
+    Adam workload) and then frozen; see EXPERIMENTS.md.
+    """
+
+    freq_hz: float = 3.5e9
+    n_cores: int = 8
+    l3_bytes: int = 9 * 1024 * KiB
+    metadata_cache_bytes: int = 32 * KiB
+    aes_latency_cycles: int = 40
+    mac_latency_cycles: int = 40
+    dram: DramTimingModel = field(default_factory=ddr4_2400_2ch)
+
+    # -- calibration ---------------------------------------------------------
+    #: Outstanding demand misses per hardware thread (MLP).
+    mlp: int = 8
+    #: Adam arithmetic throughput per thread (elements/cycle; DeepSpeed's
+    #: CPU-Adam is memory-layout-bound well below peak AVX rates).
+    adam_elems_per_cycle: float = 0.75
+    #: Effective DRAM-time cost of one metadata transaction, in data-line
+    #: equivalents: row-buffer miss, read-modify-write turnaround and bank
+    #: contention of small scattered metadata accesses.
+    metadata_txn_cost: float = 7.0
+    #: Queueing inflation applied as demand saturates the DRAM channels.
+    queueing_inflation: float = 1.25
+    #: Meta Table capacity (Sec. 6.5).
+    meta_table_entries: int = 512
+    #: Tensor Filter entries / addresses collected before pattern check.
+    tensor_filter_entries: int = 10
+    tensor_filter_collect: int = 4
+    #: Recently-updated entries scanned on each merge attempt (Sec. 4.2).
+    merge_window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0 or self.mlp <= 0:
+            raise ConfigError("cores and MLP must be positive")
+        if self.meta_table_entries <= 0 or self.tensor_filter_entries <= 0:
+            raise ConfigError("table sizes must be positive")
+
+    @property
+    def aes_latency_s(self) -> float:
+        return self.aes_latency_cycles / self.freq_hz
+
+    @property
+    def mac_latency_s(self) -> float:
+        return self.mac_latency_cycles / self.freq_hz

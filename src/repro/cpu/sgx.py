@@ -1,0 +1,42 @@
+"""SGX-like baseline: cacheline-granularity VN + MAC + 8-ary Merkle tree.
+
+Mode-cost provider for the timing model. The metadata transaction rates are
+measured by streaming a sampled window through the real metadata-cache
+simulator (:mod:`repro.cpu.metadata_model`); the protected-region size sets
+the tree depth (deeper trees -> longer dependent walks on VN misses).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cpu.config import CpuConfig
+from repro.cpu.metadata_model import MetaTraffic, measure_sgx_metadata
+from repro.cpu.timing import ModeCosts
+from repro.units import GiB
+
+
+@lru_cache(maxsize=32)
+def _measured(protected_bytes: int, streams: int, sample_lines: int) -> MetaTraffic:
+    return measure_sgx_metadata(
+        protected_bytes=protected_bytes,
+        sample_lines=sample_lines,
+        streams=streams,
+    )
+
+
+def sgx_costs(
+    config: CpuConfig,
+    protected_bytes: int = 4 * GiB,
+    threads: int = 8,
+    write_fraction: float = 0.45,
+    sample_lines: int = 120_000,
+) -> ModeCosts:
+    """Build the SGX mode costs for a protected region of the given size."""
+    traffic = _measured(protected_bytes, threads, sample_lines)
+    return ModeCosts(
+        name="sgx",
+        meta_txns_per_line=traffic.txns_per_line(write_fraction),
+        dependent_meta_per_read=traffic.dependent_levels_per_read,
+        crypto_latency_s=config.aes_latency_s + config.mac_latency_s,
+    )

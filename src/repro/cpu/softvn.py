@@ -1,0 +1,58 @@
+"""SoftVN baseline (Sec. 2.2): software-declared on-chip VN table.
+
+SoftVN eliminates off-chip VN traffic for declared tensors, but:
+
+1. the VN table lookup sits on the cache-access critical path, so each
+   demand access pays a lookup latency that grows with the entry count
+   (the paper's "dilemma for improving practicability");
+2. a tensor updated in parallel occupies one entry *per core* ("wastage of
+   entries"), so the effective entry demand is ``tensors x threads``; the
+   overflow fraction falls back to SGX-style off-chip VN handling.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cpu.config import CpuConfig
+from repro.cpu.sgx import sgx_costs
+from repro.cpu.timing import ModeCosts
+from repro.errors import ConfigError
+from repro.units import GiB
+
+
+def softvn_costs(
+    config: CpuConfig,
+    threads: int,
+    n_tensors: int = 67,
+    table_entries: int = 512,
+    lookup_cycles_base: float = 8.0,
+    protected_bytes: int = 4 * GiB,
+) -> ModeCosts:
+    """SoftVN mode costs for ``n_tensors`` declared tensors.
+
+    ``n_tensors`` is the number of *concurrently live* declared tensors
+    (the optimizer working set), each consuming one entry per active core.
+    """
+    if n_tensors <= 0 or table_entries <= 0:
+        raise ConfigError("tensor and table counts must be positive")
+    demand = n_tensors * threads
+    spill_fraction = max(0.0, 1.0 - table_entries / demand)
+
+    # Critical-path lookup: a CAM over `table_entries` entries; latency grows
+    # logarithmically with the entry count (match-line segmentation).
+    lookup_cycles = lookup_cycles_base * (1.0 + math.log2(table_entries / 64.0) / 4.0)
+    lookup_s = lookup_cycles / config.freq_hz
+
+    sgx = sgx_costs(config, protected_bytes=protected_bytes, threads=threads)
+    # With the VN on chip the counter-mode keystream is computed while the
+    # data line is in flight, so only the final XOR/MAC-check tail remains
+    # on the load critical path (the point of counter-mode, Sec. 2.2).
+    crypto_tail_s = 4.0 / config.freq_hz
+    return ModeCosts(
+        name="softvn",
+        meta_txns_per_line=spill_fraction * sgx.meta_txns_per_line,
+        dependent_meta_per_read=spill_fraction * sgx.dependent_meta_per_read,
+        crypto_latency_s=crypto_tail_s + spill_fraction * sgx.crypto_latency_s,
+        lookup_latency_s=lookup_s,
+    )

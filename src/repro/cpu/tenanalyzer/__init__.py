@@ -1,0 +1,25 @@
+"""TenAnalyzer: hardware tensor detection in the memory controller (Sec. 4.2).
+
+The unit watches the cores' virtual-address request stream and builds the
+Meta Table — per-tensor entries holding one on-chip VN (and MAC) for all
+cachelines of a detected tensor — via the Tensor Filter (cold-stream pattern
+collection), boundary extension (gradual coverage growth) and entry merging
+(reassembling tiled/sharded tensors, Fig. 11).
+"""
+
+from repro.cpu.tenanalyzer.analyzer import ReadResult, TenAnalyzer, WriteResult
+from repro.cpu.tenanalyzer.entry import EntryGeometry, MetaTableEntry
+from repro.cpu.tenanalyzer.meta_table import MetaTable
+from repro.cpu.tenanalyzer.tensor_filter import TensorFilter
+from repro.cpu.tenanalyzer.vn_store import OffChipVnStore
+
+__all__ = [
+    "TenAnalyzer",
+    "ReadResult",
+    "WriteResult",
+    "MetaTableEntry",
+    "EntryGeometry",
+    "MetaTable",
+    "TensorFilter",
+    "OffChipVnStore",
+]

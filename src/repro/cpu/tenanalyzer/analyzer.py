@@ -1,0 +1,264 @@
+"""The TenAnalyzer facade: read/write dataflows of Figs. 10 and 12.
+
+Sits logically in the memory controller, receiving the cores'
+virtual-address request stream. For reads it supplies the VN without
+off-chip access on *hit-in*, speculatively on *hit-boundary* (the off-chip
+VN is fetched in the background to confirm and extend coverage), and falls
+back to the off-chip VN + Tensor Filter on *miss*. For writes it runs the
+bitmap/UF tracking that keeps the single on-chip tensor VN consistent with
+per-line off-chip VNs, invalidating the entry on assertion violations.
+
+``EnTMF`` (Enable Tensor-wise Management Flag) disables the whole unit for
+non-tensor applications.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.tenanalyzer.entry import MetaTableEntry, WriteOutcomeKind
+from repro.cpu.tenanalyzer.meta_table import LookupKind, MetaTable
+from repro.cpu.tenanalyzer.tensor_filter import TensorFilter
+from repro.cpu.tenanalyzer.vn_store import OffChipVnStore
+from repro.errors import ConfigError
+from repro.sim.stats import Stats
+from repro.sim.trace import AccessKind, MemAccess
+from repro.units import CACHELINE_BYTES
+
+LINE = CACHELINE_BYTES
+
+
+class ReadKind(enum.Enum):
+    """Read-path outcomes reported to the MEE/timing model."""
+
+    HIT_IN = "hit_in"
+    HIT_BOUNDARY = "hit_boundary"
+    MISS = "miss"
+
+
+class WriteKind(enum.Enum):
+    """Write-path outcomes (Fig. 12)."""
+
+    HIT_EDGE = "hit_edge"
+    HIT_IN = "hit_in"
+    MISS = "miss"
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """VN decision for one read."""
+
+    kind: ReadKind
+    vn: int
+    #: Off-chip VN lines fetched (0 for hit-in; 1 for miss; 1 for boundary,
+    #: but off the critical path in the boundary case).
+    offchip_vn_fetches: int
+    critical_fetch: bool  # True when the fetch stalls the request (miss)
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Bookkeeping outcome of one write."""
+
+    kind: WriteKind
+    vn: int  # VN the line is encrypted under
+    completed_tensor: bool
+    violation: bool
+    offchip_vn_writes: int
+
+
+class TenAnalyzer:
+    """Tensor detection + on-chip VN management at the memory controller."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        filter_entries: int = 10,
+        filter_collect: int = 4,
+        merge_window: int = 8,
+        enabled: bool = True,
+        vn_store: Optional[OffChipVnStore] = None,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigError("Meta Table capacity must be positive")
+        self.stats = stats if stats is not None else Stats("tenanalyzer")
+        self.vn_store = vn_store if vn_store is not None else OffChipVnStore()
+        self.table = MetaTable(
+            capacity=capacity,
+            merge_window=merge_window,
+            vn_store=self.vn_store,
+            stats=self.stats.scope("meta_table"),
+        )
+        self.filter = TensorFilter(
+            n_entries=filter_entries,
+            collect_target=filter_collect,
+            stats=self.stats.scope("tensor_filter"),
+        )
+        self.enabled = enabled  # EnTMF
+
+    # -- dataflow for reading (Fig. 10) ---------------------------------------
+
+    def on_read(self, access: MemAccess) -> ReadResult:
+        """Classify a read and provide its VN."""
+        vaddr = access.vaddr
+        if not self.enabled:
+            self.stats.add("read_miss")
+            return ReadResult(ReadKind.MISS, self.vn_store.read(vaddr), 1, True)
+
+        kind, entry = self.table.lookup(vaddr)
+        if kind is LookupKind.HIT_IN:
+            assert entry is not None
+            self.stats.add("read_hit_in")
+            return ReadResult(ReadKind.HIT_IN, entry.vn_for_line(vaddr), 0, False)
+
+        if kind is LookupKind.HIT_BOUNDARY:
+            assert entry is not None
+            # Speculatively use the entry VN; confirm off the critical path.
+            offchip_vn = self.vn_store.read(vaddr)
+            if offchip_vn == entry.vn:
+                self.table.extend(entry)
+                self.filter.drop_covering(vaddr)
+                self.stats.add("read_hit_boundary")
+                return ReadResult(ReadKind.HIT_BOUNDARY, entry.vn, 1, False)
+            # Misprediction: the speculative decryption is squashed and the
+            # request replays with the off-chip VN.
+            self.stats.add("boundary_mispredict")
+            self.stats.add("read_miss")
+            return ReadResult(ReadKind.MISS, offchip_vn, 1, True)
+
+        offchip_vn = self.vn_store.read(vaddr)
+        self.stats.add("read_miss")
+        geometry = self.filter.observe(vaddr, offchip_vn)
+        if geometry is not None:
+            self.table.insert(geometry, vn=offchip_vn, source="filter")
+        return ReadResult(ReadKind.MISS, offchip_vn, 1, True)
+
+    # -- dataflow for writing (Fig. 12) ---------------------------------------
+
+    def on_write(self, access: MemAccess, mac_delta: int = 0) -> WriteResult:
+        """Track a write-back; returns the VN to encrypt the line under.
+
+        ``mac_delta`` is ``old_line_mac ^ new_line_mac`` from the MEE, folded
+        into the entry's on-chip tensor MAC so it stays the XOR of its
+        lines' MACs (Sec. 4.3 construction, reused on the CPU side for the
+        direct-transfer metadata).
+        """
+        vaddr = access.vaddr
+        if self.enabled:
+            # Writes snoop the Tensor Filter: a write-back to a line inside an
+            # in-flight collection changes that line's VN, so the half-built
+            # stream must be discarded or it would seed a stale entry.
+            self.filter.drop_covering(vaddr)
+        entry = self.table.entry_of(vaddr) if self.enabled else None
+        if entry is None:
+            new_vn = self.vn_store.bump(vaddr)
+            self.stats.add("write_miss")
+            return WriteResult(WriteKind.MISS, new_vn, False, False, 1)
+
+        outcome = entry.write_line(vaddr)
+        if outcome is WriteOutcomeKind.VIOLATION:
+            # Assert1: invalidate and fall back to the off-chip path.
+            self.table.invalidate(entry, reason="assert")
+            new_vn = self.vn_store.bump(vaddr)
+            self.stats.add("write_violation")
+            return WriteResult(WriteKind.MISS, new_vn, False, True, 1)
+
+        entry.mac ^= mac_delta
+        vn = entry.vn if outcome is WriteOutcomeKind.COMPLETED else entry.vn + 1
+        if outcome is WriteOutcomeKind.COMPLETED:
+            self.stats.add("write_completed_tensors")
+            # Entry VN already incremented inside write_line; lines written
+            # this round carry the new VN. A freshly-updated entry is a
+            # merge candidate (consolidates sharded tensors, Fig. 11).
+            self.table.merge_updated(entry)
+            kind = WriteKind.HIT_EDGE
+        elif outcome is WriteOutcomeKind.HIT_EDGE:
+            kind = WriteKind.HIT_EDGE
+        else:
+            kind = WriteKind.HIT_IN
+        self.stats.add(f"write_{kind.value}")
+        return WriteResult(
+            kind,
+            vn,
+            completed_tensor=outcome is WriteOutcomeKind.COMPLETED,
+            violation=False,
+            offchip_vn_writes=0,
+        )
+
+    # -- fast-path installation from transfer descriptors (Sec. 4.2) ----------
+
+    def install_from_transfer(self, base_va: int, n_lines: int, vn: int) -> MetaTableEntry:
+        """Create a full-range entry from an NPU transfer descriptor.
+
+        Data-transfer instructions carry (address, size, stride); TensorTEE
+        uses them to seed the Meta Table without waiting for detection.
+        """
+        if base_va % LINE or n_lines <= 0:
+            raise ConfigError("transfer descriptor must be line-aligned and non-empty")
+        from repro.cpu.tenanalyzer.entry import EntryGeometry
+
+        geometry = EntryGeometry(
+            base_va=base_va,
+            run_lines=n_lines,
+            stride_lines=n_lines,
+            count=1,
+            extensible_run=True,
+        )
+        for i in range(n_lines):
+            self.vn_store.set(base_va + i * LINE, vn)
+        entry = self.table.insert(geometry, vn=vn, source="transfer")
+        self.stats.add("transfer_installs")
+        return entry
+
+    def fold_mac(self, vaddr: int, mac_delta: int) -> bool:
+        """XOR a line-MAC delta into the covering entry's tensor MAC.
+
+        Called by the device after the MEE computed the old/new line MACs
+        for a write; returns whether a covering entry absorbed the delta.
+        """
+        entry = self.table.entry_of(vaddr)
+        if entry is None:
+            return False
+        entry.mac ^= mac_delta
+        return True
+
+    def metadata_for_range(self, base_va: int, n_lines: int) -> Optional[tuple[int, int]]:
+        """(VN, MAC) for a whole tensor range, for the trusted channel."""
+        entry = self.table.covering_range(base_va, n_lines)
+        if entry is None or entry.updating:
+            return None
+        return entry.vn, entry.mac
+
+    # -- reporting -------------------------------------------------------------
+
+    def hit_rates(self) -> dict[str, float]:
+        """hit_in / hit_boundary / hit_all read rates so far (Fig. 18)."""
+        hit_in = self.stats["read_hit_in"]
+        boundary = self.stats["read_hit_boundary"]
+        miss = self.stats["read_miss"]
+        total = hit_in + boundary + miss
+        if total == 0:
+            return {"hit_in": 0.0, "hit_boundary": 0.0, "hit_all": 0.0}
+        return {
+            "hit_in": hit_in / total,
+            "hit_boundary": boundary / total,
+            "hit_all": (hit_in + boundary) / total,
+        }
+
+    def reset_rate_counters(self) -> None:
+        """Zero the read/write classification counters (not the table)."""
+        for key in (
+            "read_hit_in",
+            "read_hit_boundary",
+            "read_miss",
+            "boundary_mispredict",
+            "write_hit_edge",
+            "write_hit_in",
+            "write_miss",
+            "write_violation",
+            "write_completed_tensors",
+        ):
+            self.stats.set(key, 0.0)

@@ -1,0 +1,298 @@
+"""The Meta Table: on-chip tensor structures with LRU capacity management.
+
+Holds up to 512 entries (Sec. 6.5). Lookup distinguishes *hit-in* (the
+request falls inside an entry's coverage) from *hit-boundary* (the request
+is an entry's next-extension address). Insertions attempt the Fig.-11 entry
+merging against a window of recently-updated entries; capacity overflow
+evicts the LRU entry, syncing its VN back to the off-chip per-line store.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.tenanalyzer.entry import (
+    EntryGeometry,
+    MetaTableEntry,
+    try_merge_geometries,
+)
+from repro.cpu.tenanalyzer.vn_store import OffChipVnStore
+from repro.sim.stats import Stats
+from repro.units import CACHELINE_BYTES
+
+LINE = CACHELINE_BYTES
+
+
+class LookupKind(enum.Enum):
+    """Read-path classification (Fig. 10)."""
+
+    HIT_IN = "hit_in"
+    HIT_BOUNDARY = "hit_boundary"
+    MISS = "miss"
+
+
+class MetaTable:
+    """Entry storage with line/boundary indexes and merge orchestration."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        merge_window: int = 8,
+        vn_store: Optional[OffChipVnStore] = None,
+        stats: Optional[Stats] = None,
+        replacement: str = "random",
+        seed: int = 0xC0FFEE,
+    ) -> None:
+        """``replacement`` is "random" (default) or "lru".
+
+        Pseudo-random replacement avoids the pathological cyclic-thrash of
+        strict LRU when the per-core shard entries of an iteration exceed
+        capacity — with LRU no entry would ever survive until its next use,
+        whereas random replacement lets a growing fraction persist, which is
+        what produces the gradual hit_in convergence of Fig. 18.
+        """
+        if replacement not in ("random", "lru"):
+            raise ValueError(f"unknown replacement policy {replacement!r}")
+        self.capacity = capacity
+        self.merge_window = merge_window
+        self.replacement = replacement
+        self._rng = random.Random(seed)
+        self.vn_store = vn_store if vn_store is not None else OffChipVnStore()
+        self.stats = stats if stats is not None else Stats("meta_table")
+        self._entries: Dict[int, MetaTableEntry] = {}
+        self._line_map: Dict[int, int] = {}  # covered line VA -> entry id
+        self._boundary_map: Dict[int, int] = {}  # boundary VA -> entry id
+        self._recent_updates: List[int] = []  # entry ids, most recent last
+        self._next_id = 0
+        self._tick = 0
+
+    # -- indexing helpers ----------------------------------------------------
+
+    def _index_entry(self, entry_id: int, entry: MetaTableEntry) -> None:
+        for vaddr in entry.geometry.covered_lines():
+            self._line_map[vaddr] = entry_id
+        self._boundary_map[entry.geometry.boundary_va()] = entry_id
+
+    def _unindex_entry(self, entry_id: int, entry: MetaTableEntry) -> None:
+        for vaddr in entry.geometry.covered_lines():
+            if self._line_map.get(vaddr) == entry_id:
+                del self._line_map[vaddr]
+        boundary = entry.geometry.boundary_va()
+        if self._boundary_map.get(boundary) == entry_id:
+            del self._boundary_map[boundary]
+
+    def _touch(self, entry_id: int) -> None:
+        self._tick += 1
+        self._entries[entry_id].lru_tick = self._tick
+        self._note_updated(entry_id)
+
+    def _note_updated(self, entry_id: int) -> None:
+        """Track recently-touched entries: the candidate window for merging.
+
+        Merges are only *attempted* when a new entry is created (Sec. 4.2);
+        the window makes a surviving neighbour (recently re-read) visible to
+        the re-detected shard next to it, which is how sharded tensors
+        consolidate across iterations.
+        """
+        if self._recent_updates and self._recent_updates[-1] == entry_id:
+            return
+        if entry_id in self._recent_updates:
+            self._recent_updates.remove(entry_id)
+        self._recent_updates.append(entry_id)
+        del self._recent_updates[: -4 * self.merge_window]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, vaddr: int) -> Tuple[LookupKind, Optional[MetaTableEntry]]:
+        """Classify one request address against the table."""
+        entry_id = self._line_map.get(vaddr)
+        if entry_id is not None:
+            self._touch(entry_id)
+            return LookupKind.HIT_IN, self._entries[entry_id]
+        entry_id = self._boundary_map.get(vaddr)
+        if entry_id is not None:
+            self._touch(entry_id)
+            return LookupKind.HIT_BOUNDARY, self._entries[entry_id]
+        return LookupKind.MISS, None
+
+    def entry_of(self, vaddr: int) -> Optional[MetaTableEntry]:
+        """Covering entry without LRU side effects."""
+        entry_id = self._line_map.get(vaddr)
+        return self._entries.get(entry_id) if entry_id is not None else None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def extend(self, entry: MetaTableEntry) -> None:
+        """Grow an entry by one line at its boundary (verified by caller)."""
+        entry_id = self._id_of(entry)
+        old_boundary = entry.geometry.boundary_va()
+        if self._boundary_map.get(old_boundary) == entry_id:
+            del self._boundary_map[old_boundary]
+        entry.geometry.extend()
+        self._line_map[old_boundary] = entry_id
+        new_boundary = entry.geometry.boundary_va()
+        if new_boundary not in self._line_map:
+            self._boundary_map[new_boundary] = entry_id
+        self.stats.add("extensions")
+        self._note_updated(entry_id)
+
+    def insert(self, geometry: EntryGeometry, vn: int, source: str = "filter") -> MetaTableEntry:
+        """Add a detected entry, merging with recent neighbours when possible."""
+        entry = MetaTableEntry(geometry=geometry, vn=vn, source=source)
+        entry_id = self._admit(entry)
+        self.stats.add("insertions")
+        merged = self._attempt_merges(entry_id)
+        return self._entries[merged]
+
+    def _admit(self, entry: MetaTableEntry) -> int:
+        # Steal coverage collisions: a new detection overlapping an existing
+        # entry invalidates the stale one (conservative, keeps maps 1:1).
+        overlapping = {
+            self._line_map[va]
+            for va in entry.geometry.covered_lines()
+            if va in self._line_map
+        }
+        for stale_id in overlapping:
+            self.invalidate(self._entries[stale_id], reason="overlap")
+        while len(self._entries) >= self.capacity:
+            if self.replacement == "random":
+                victim_id = self._rng.choice(list(self._entries))
+            else:
+                victim_id = min(self._entries, key=lambda i: self._entries[i].lru_tick)
+            self._evict(victim_id)
+        entry_id = self._next_id
+        self._next_id += 1
+        self._entries[entry_id] = entry
+        entry.entry_id = entry_id
+        self._tick += 1
+        entry.lru_tick = self._tick
+        entry.created_tick = self._tick
+        self._index_entry(entry_id, entry)
+        self._note_updated(entry_id)
+        return entry_id
+
+    def _attempt_merges(self, entry_id: int) -> int:
+        """Try merging within the recently-touched window (new entry first).
+
+        Triggered only on entry creation (Sec. 4.2: "attempts to merge a few
+        recently updated entries when creating new entries"). After the new
+        entry's own merges, one sweep over window pairs picks up bands whose
+        coverage completed since their creation (Fig. 11b tiling).
+        """
+        current_id = self._merge_against_window(entry_id)
+        window = [i for i in reversed(self._recent_updates)][: self.merge_window]
+        for candidate_id in window:
+            if candidate_id in self._entries and candidate_id != current_id:
+                merged_to = self._merge_against_window(candidate_id)
+                if current_id not in self._entries:
+                    current_id = merged_to
+        return current_id
+
+    def _merge_against_window(self, entry_id: int) -> int:
+        current_id = entry_id
+        merged_any = True
+        while merged_any:
+            merged_any = False
+            current = self._entries[current_id]
+            if not current.mergeable:
+                break
+            window = [i for i in reversed(self._recent_updates) if i != current_id]
+            for other_id in window[: self.merge_window]:
+                other = self._entries.get(other_id)
+                if other is None or other is current or not other.mergeable:
+                    continue
+                if other.vn != current.vn:
+                    continue
+                combined = try_merge_geometries(current.geometry, other.geometry)
+                if combined is None:
+                    continue
+                current_id = self._apply_merge(current_id, other_id, combined)
+                self.stats.add("merges")
+                merged_any = True
+                break
+        return current_id
+
+    def _apply_merge(self, a_id: int, b_id: int, combined: EntryGeometry) -> int:
+        a, b = self._entries[a_id], self._entries[b_id]
+        self._unindex_entry(a_id, a)
+        self._unindex_entry(b_id, b)
+        del self._entries[a_id]
+        del self._entries[b_id]
+        for stale in (a_id, b_id):
+            if stale in self._recent_updates:
+                self._recent_updates.remove(stale)
+        merged = MetaTableEntry(geometry=combined, vn=a.vn, mac=a.mac ^ b.mac, source="merge")
+        merged_id = self._next_id
+        self._next_id += 1
+        self._entries[merged_id] = merged
+        merged.entry_id = merged_id
+        self._tick += 1
+        merged.lru_tick = self._tick
+        self._index_entry(merged_id, merged)
+        self._note_updated(merged_id)
+        return merged_id
+
+    def merge_updated(self, entry: MetaTableEntry) -> MetaTableEntry:
+        """Merge attempt at tensor-update completion (VN just incremented).
+
+        Completion is when an entry becomes "recently updated" in the
+        paper's sense; neighbouring shards of the same tensor complete
+        within a few bursts of each other, so this is where sharded
+        streaming tensors consolidate.
+        """
+        entry_id = self._id_of(entry)
+        self._note_updated(entry_id)
+        # Completion merges are single-entry attempts (no window sweep):
+        # only the tensor that just finished updating scans its window.
+        # Consolidation of a fully sharded tensor therefore takes several
+        # iterations — the gradual hit_in convergence of Fig. 18.
+        merged_id = self._merge_against_window(entry_id)
+        return self._entries[merged_id]
+
+    def invalidate(self, entry: MetaTableEntry, reason: str = "assert") -> int:
+        """Drop an entry, syncing per-line VNs off-chip; returns sync count."""
+        entry_id = self._id_of(entry)
+        synced = 0
+        for vaddr, vn in entry.per_line_vns():
+            if self.vn_store.read(vaddr) != vn:
+                self.vn_store.set(vaddr, vn)
+                synced += 1
+        self._unindex_entry(entry_id, entry)
+        del self._entries[entry_id]
+        if entry_id in self._recent_updates:
+            self._recent_updates.remove(entry_id)
+        self.stats.add(f"invalidations_{reason}")
+        self.stats.add("sync_lines", synced)
+        return synced
+
+    def _evict(self, entry_id: int) -> None:
+        entry = self._entries[entry_id]
+        self.invalidate(entry, reason="eviction")
+        self.stats.add("evictions")
+
+    def _id_of(self, entry: MetaTableEntry) -> int:
+        if self._entries.get(entry.entry_id) is entry:
+            return entry.entry_id
+        raise KeyError("entry not resident in table")
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[MetaTableEntry]:
+        return list(self._entries.values())
+
+    def covering_range(self, base_va: int, n_lines: int) -> Optional[MetaTableEntry]:
+        """Entry covering the whole line range, or None."""
+        entry_id = self._line_map.get(base_va)
+        if entry_id is None:
+            return None
+        entry = self._entries[entry_id]
+        last = base_va + (n_lines - 1) * LINE
+        if entry.geometry.contains_line(last) and self._line_map.get(last) == entry_id:
+            return entry
+        return None

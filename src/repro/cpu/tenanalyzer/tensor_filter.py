@@ -1,0 +1,98 @@
+"""The Tensor Filter: cold-stream pattern collection (Fig. 10).
+
+Meta Table misses land here. Each filter entry collects up to
+``collect_target`` line addresses of one candidate stream; when full, the
+addresses are checked for the tensor condition — consecutive lines with the
+same off-chip VN — and a fresh Meta Table entry is initialised from them.
+The filter is tiny (10 entries, Table in Sec. 6.5) because kernels touch few
+tensors concurrently; LRU eviction discards noise streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cpu.tenanalyzer.entry import EntryGeometry
+from repro.sim.stats import Stats
+from repro.units import CACHELINE_BYTES
+
+LINE = CACHELINE_BYTES
+
+
+@dataclass
+class FilterEntry:
+    """One in-flight candidate stream."""
+
+    base_va: int
+    vn: int
+    collected: int = 1
+    lru_tick: int = 0
+
+    @property
+    def next_va(self) -> int:
+        return self.base_va + self.collected * LINE
+
+
+class TensorFilter:
+    """Collects read-miss addresses and proposes Meta Table entries."""
+
+    def __init__(
+        self,
+        n_entries: int = 10,
+        collect_target: int = 4,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        self.n_entries = n_entries
+        self.collect_target = collect_target
+        self.stats = stats if stats is not None else Stats("tensor_filter")
+        self._entries: List[FilterEntry] = []
+        self._tick = 0
+
+    def observe(self, vaddr: int, vn: int) -> Optional[EntryGeometry]:
+        """Feed one read-miss; returns a detected geometry when ready.
+
+        The stream check is the paper's tensor condition: a consistent
+        (line-contiguous) address pattern with one shared VN.
+        """
+        self._tick += 1
+        for index, entry in enumerate(self._entries):
+            if vaddr == entry.next_va:
+                if vn != entry.vn:
+                    # VN broke the tensor condition: restart the stream here.
+                    self._entries[index] = FilterEntry(vaddr, vn, lru_tick=self._tick)
+                    self.stats.add("vn_restarts")
+                    return None
+                entry.collected += 1
+                entry.lru_tick = self._tick
+                if entry.collected >= self.collect_target:
+                    self._entries.pop(index)
+                    self.stats.add("detections")
+                    return EntryGeometry(
+                        base_va=entry.base_va,
+                        run_lines=entry.collected,
+                        stride_lines=entry.collected,
+                        count=1,
+                        extensible_run=True,
+                    )
+                return None
+        self._allocate(vaddr, vn)
+        return None
+
+    def _allocate(self, vaddr: int, vn: int) -> None:
+        if len(self._entries) >= self.n_entries:
+            victim = min(range(len(self._entries)), key=lambda i: self._entries[i].lru_tick)
+            self._entries.pop(victim)
+            self.stats.add("evictions")
+        self._entries.append(FilterEntry(vaddr, vn, lru_tick=self._tick))
+        self.stats.add("allocations")
+
+    def drop_covering(self, vaddr: int) -> None:
+        """Drop any stream that already reached past ``vaddr`` (rare overlap)."""
+        self._entries = [
+            e for e in self._entries if not (e.base_va <= vaddr < e.next_va)
+        ]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)

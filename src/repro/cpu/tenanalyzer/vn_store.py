@@ -1,0 +1,57 @@
+"""Off-chip per-cacheline version numbers.
+
+This is the SGX-compatible VN layer TenAnalyzer stays consistent with
+(Fig. 12: "maintains consistency with off-chip cacheline-granularity VN").
+While an entry covers a line, the off-chip copy may lag; on eviction or
+invalidation the entry's VN is synchronised back (``sync``), so the MEE can
+always fall back to the off-chip value for uncovered lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.units import CACHELINE_BYTES
+
+
+class OffChipVnStore:
+    """Per-line VN dictionary with write counters for invariant checks."""
+
+    def __init__(self) -> None:
+        self._vn: Dict[int, int] = {}
+
+    @staticmethod
+    def _line(vaddr: int) -> int:
+        return vaddr - (vaddr % CACHELINE_BYTES)
+
+    def read(self, vaddr: int) -> int:
+        """Current off-chip VN of the line containing ``vaddr``."""
+        return self._vn.get(self._line(vaddr), 0)
+
+    def bump(self, vaddr: int) -> int:
+        """Increment on a line write-back; returns the new VN."""
+        line = self._line(vaddr)
+        new = self._vn.get(line, 0) + 1
+        self._vn[line] = new
+        return new
+
+    def sync(self, vaddrs: Iterable[int], vn: int) -> int:
+        """Entry eviction: force lines to the entry-tracked VN.
+
+        Returns how many lines actually changed (the write-back traffic).
+        """
+        changed = 0
+        for vaddr in vaddrs:
+            line = self._line(vaddr)
+            if self._vn.get(line, 0) != vn:
+                self._vn[line] = vn
+                changed += 1
+        return changed
+
+    def set(self, vaddr: int, vn: int) -> None:
+        """Directly set a line's VN (used by transfer-descriptor installs)."""
+        self._vn[self._line(vaddr)] = vn
+
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._vn)

@@ -1,0 +1,83 @@
+"""TensorTEE CPU mode costs, derived from measured TenAnalyzer behaviour.
+
+- *hit-in* reads: VN comes from the Meta Table — no off-chip metadata, no
+  dependent walk; only the AES pipeline latency remains (hidden behind the
+  data fetch except for its tail).
+- *hit-boundary* reads: the entry VN is used speculatively; one off-chip VN
+  fetch runs in the background (bandwidth cost, no stall).
+- *miss* reads and uncovered writes: SGX-equivalent cost.
+- covered writes: no off-chip metadata at all (the entry tracks the VN; MACs
+  are folded on chip); eviction syncs are amortized via the measured
+  ``sync_lines`` rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import CpuConfig
+from repro.cpu.sgx import sgx_costs
+from repro.cpu.timing import ModeCosts
+from repro.errors import ConfigError
+from repro.units import GiB
+
+
+@dataclass(frozen=True)
+class AnalyzerRates:
+    """Measured per-access classification rates of one optimizer iteration."""
+
+    read_hit_in: float
+    read_hit_boundary: float
+    read_miss: float
+    write_covered: float
+    write_miss: float
+    sync_lines_per_access: float = 0.0
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.read_hit_in,
+            self.read_hit_boundary,
+            self.read_miss,
+            self.write_covered,
+            self.write_miss,
+        ):
+            if value < -1e-9:
+                raise ConfigError("rates must be non-negative")
+
+
+def tensortee_costs(
+    config: CpuConfig,
+    rates: AnalyzerRates,
+    threads: int = 8,
+    protected_bytes: int = 4 * GiB,
+) -> ModeCosts:
+    """Blend SGX-path costs over the measured miss fractions."""
+    sgx = sgx_costs(config, protected_bytes=protected_bytes, threads=threads)
+
+    reads = rates.read_hit_in + rates.read_hit_boundary + rates.read_miss
+    writes = rates.write_covered + rates.write_miss
+    total = max(reads + writes, 1e-12)
+    read_share = reads / total
+    write_share = writes / total
+
+    read_miss_frac = rates.read_miss / max(reads, 1e-12)
+    boundary_frac = rates.read_hit_boundary / max(reads, 1e-12)
+    write_miss_frac = rates.write_miss / max(writes, 1e-12)
+
+    meta_txns = (
+        read_share * (read_miss_frac * sgx.meta_txns_per_line + boundary_frac * 1.0)
+        + write_share * (write_miss_frac * sgx.meta_txns_per_line)
+        + rates.sync_lines_per_access
+    )
+    dependent = read_miss_frac * sgx.dependent_meta_per_read * read_share
+    # Hit paths know the VN on chip: the keystream overlaps the data fetch
+    # and only the XOR/MAC-check tail stays on the critical path. Misses pay
+    # the SGX serialized crypto latency.
+    crypto_tail_s = 4.0 / config.freq_hz
+    miss_frac_overall = read_share * read_miss_frac + write_share * write_miss_frac
+    return ModeCosts(
+        name="tensortee",
+        meta_txns_per_line=meta_txns,
+        dependent_meta_per_read=dependent,
+        crypto_latency_s=crypto_tail_s + miss_frac_overall * sgx.crypto_latency_s,
+    )

@@ -1,0 +1,118 @@
+"""CPU latency model for the memory-bound optimizer workloads.
+
+Three bottlenecks, combined with a soft maximum:
+
+- **compute**: AVX-class Adam arithmetic per thread;
+- **latency**: each thread sustains ``mlp`` outstanding line misses whose
+  service time includes serialized metadata dependencies (Merkle walk) and
+  the AES/MAC pipeline latency;
+- **bandwidth**: data bytes plus metadata transactions (each costing
+  ``metadata_txn_cost`` line-equivalents of DRAM time), with queueing
+  inflation as demand saturates the channels.
+
+The mode-specific inputs (:class:`ModeCosts`) come from functional
+simulations: the SGX baseline from :mod:`repro.cpu.metadata_model`, the
+TensorTEE mode from measured TenAnalyzer hit rates, SoftVN from its
+declared-table model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import CpuConfig
+from repro.errors import ConfigError
+from repro.units import CACHELINE_BYTES
+from repro.workloads.zero_offload import ADAM_BYTES_PER_PARAM
+
+
+@dataclass(frozen=True)
+class ModeCosts:
+    """Per-mode memory-protection costs fed into the latency model."""
+
+    name: str
+    #: Extra DRAM transactions per data line (metadata fetches/write-backs).
+    meta_txns_per_line: float
+    #: Serialized metadata accesses on the demand-read critical path
+    #: (a Merkle walk is a dependent chain; TensorTEE hit-ins have none).
+    dependent_meta_per_read: float
+    #: Cryptographic pipeline latency added to each demand line (seconds).
+    crypto_latency_s: float
+    #: Additional per-access on-chip lookup latency (SoftVN's critical-path
+    #: VN table, Sec. 2.2 limitation 2), in seconds.
+    lookup_latency_s: float = 0.0
+
+
+def non_secure_costs() -> ModeCosts:
+    """No protection: plain DRAM traffic."""
+    return ModeCosts("non-secure", 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class AdamLatencyBreakdown:
+    """Latency and its contributing bounds for one Adam step."""
+
+    total_s: float
+    compute_s: float
+    latency_bound_s: float
+    bandwidth_bound_s: float
+    data_bytes: float
+    meta_bytes_equiv: float
+
+
+def adam_latency(
+    config: CpuConfig,
+    n_params: int,
+    threads: int,
+    costs: ModeCosts,
+    bytes_per_param: int = ADAM_BYTES_PER_PARAM,
+) -> AdamLatencyBreakdown:
+    """Latency of one Adam optimizer step over ``n_params`` parameters."""
+    if n_params <= 0 or threads <= 0:
+        raise ConfigError("params and threads must be positive")
+    data_bytes = float(n_params) * bytes_per_param
+    n_lines = data_bytes / CACHELINE_BYTES
+
+    compute_s = n_params / (threads * config.adam_elems_per_cycle * config.freq_hz)
+
+    service_s = (
+        config.dram.idle_latency_s * (1.0 + costs.dependent_meta_per_read)
+        + costs.crypto_latency_s
+        + costs.lookup_latency_s
+    )
+    latency_bound_s = n_lines * service_s / (threads * config.mlp)
+
+    meta_bytes_equiv = (
+        costs.meta_txns_per_line * n_lines * CACHELINE_BYTES * config.metadata_txn_cost
+    )
+    demand_bytes = data_bytes + meta_bytes_equiv
+    bandwidth_bound_s = demand_bytes / config.dram.effective_stream_bw
+
+    # Soft maximum of the two memory bounds: when both are comparable the
+    # queues are deep and neither limit is cleanly achieved.
+    p = 3.0
+    memory_s = (bandwidth_bound_s**p + latency_bound_s**p) ** (1.0 / p)
+    utilization = min(1.0, bandwidth_bound_s / max(memory_s, 1e-30))
+    memory_s *= 1.0 + (config.queueing_inflation - 1.0) * utilization
+
+    total_s = max(compute_s, memory_s)
+    return AdamLatencyBreakdown(
+        total_s=total_s,
+        compute_s=compute_s,
+        latency_bound_s=latency_bound_s,
+        bandwidth_bound_s=bandwidth_bound_s,
+        data_bytes=data_bytes,
+        meta_bytes_equiv=meta_bytes_equiv,
+    )
+
+
+def slowdown(
+    config: CpuConfig,
+    n_params: int,
+    threads: int,
+    costs: ModeCosts,
+) -> float:
+    """Latency of ``costs`` relative to non-secure at the same thread count."""
+    secure = adam_latency(config, n_params, threads, costs).total_s
+    baseline = adam_latency(config, n_params, threads, non_secure_costs()).total_s
+    return secure / baseline

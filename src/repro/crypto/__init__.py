@@ -1,0 +1,27 @@
+"""Cryptographic substrate: AES-128 counter mode, 56-bit MACs, Merkle tree.
+
+The functional security path of the reproduction is real: data written to the
+simulated off-chip DRAM is actually encrypted with counter-mode AES-128
+(counter = physical address || version number, Sec. 2.2 of the paper),
+integrity-protected with 56-bit truncated keyed-hash MACs, and — on the CPU
+side — the off-chip version numbers are covered by an 8-ary Bonsai Merkle
+Tree whose root lives on chip. Tampering and replay in tests are detected by
+these primitives, not by mocks.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import CounterModeCipher
+from repro.crypto.keys import DiffieHellman, derive_key
+from repro.crypto.mac import MacEngine, TensorMacAccumulator, xor_macs
+from repro.crypto.merkle import BonsaiMerkleTree
+
+__all__ = [
+    "AES128",
+    "CounterModeCipher",
+    "DiffieHellman",
+    "derive_key",
+    "MacEngine",
+    "TensorMacAccumulator",
+    "xor_macs",
+    "BonsaiMerkleTree",
+]

@@ -1,0 +1,55 @@
+"""Counter-mode memory encryption: ``C = AES(K, (PA, VN)) xor P``.
+
+The counter for each 16-byte sub-block of a 64-byte cacheline packs the
+line's physical address, its version number and the sub-block index — the
+(PA, VN) construction of Sec. 2.2. Because the keystream depends only on
+(key, PA, VN), the same routine both encrypts and decrypts, and a stale VN
+yields garbage plaintext (which the MAC then rejects → replay detection).
+"""
+
+from __future__ import annotations
+
+import struct
+from functools import lru_cache
+
+from repro.crypto.aes import AES128
+from repro.errors import ConfigError
+from repro.units import CACHELINE_BYTES
+
+
+class CounterModeCipher:
+    """Counter-mode AES-128 over 64-byte cachelines."""
+
+    def __init__(self, key: bytes, line_bytes: int = CACHELINE_BYTES) -> None:
+        if line_bytes % AES128.BLOCK_BYTES != 0:
+            raise ConfigError("line size must be a multiple of the AES block")
+        self._aes = AES128(key)
+        self.line_bytes = line_bytes
+        self._blocks_per_line = line_bytes // AES128.BLOCK_BYTES
+        # Keystream blocks repeat heavily across a simulation (same PA/VN
+        # pairs during reads); memoise them per cipher instance.
+        self._keystream_block = lru_cache(maxsize=65536)(self._keystream_block_uncached)
+
+    def _keystream_block_uncached(self, pa: int, vn: int, block_index: int) -> bytes:
+        counter = struct.pack(
+            ">QQ",
+            pa & 0xFFFFFFFFFFFFFFFF,
+            ((vn & 0x00FFFFFFFFFFFFFF) << 8) | (block_index & 0xFF),
+        )
+        return self._aes.encrypt_block(counter)
+
+    def keystream(self, pa: int, vn: int) -> bytes:
+        """Full keystream for the line at physical address ``pa``."""
+        parts = [self._keystream_block(pa, vn, i) for i in range(self._blocks_per_line)]
+        return b"".join(parts)
+
+    def encrypt_line(self, plaintext: bytes, pa: int, vn: int) -> bytes:
+        """Encrypt (or decrypt — XOR is an involution) one cacheline."""
+        if len(plaintext) != self.line_bytes:
+            raise ConfigError(
+                f"line must be {self.line_bytes} bytes, got {len(plaintext)}"
+            )
+        stream = self.keystream(pa, vn)
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    decrypt_line = encrypt_line

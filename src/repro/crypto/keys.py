@@ -1,0 +1,71 @@
+"""Key material: Diffie-Hellman exchange and key derivation (Sec. 4.4.2).
+
+After mutual attestation the CPU and NPU enclaves run a DH exchange so both
+sides hold the same AES/MAC keys without the keys ever crossing the bus —
+this shared key is what makes ciphertext portable between the enclaves and
+enables the direct transfer protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+from repro.errors import ConfigError
+
+# RFC 3526 group 14 (2048-bit MODP). Generator 2.
+_MODP_2048_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFFFFFFFFFF"
+)
+DH_PRIME = int(_MODP_2048_HEX, 16)
+DH_GENERATOR = 2
+
+
+def derive_key(shared_secret: bytes, label: str, length: int = 16) -> bytes:
+    """Derive a labelled sub-key from a shared secret (simple KDF)."""
+    if length <= 0 or length > 64:
+        raise ConfigError("derived key length must be in (0, 64]")
+    h = hashlib.blake2b(digest_size=length)
+    h.update(label.encode("utf-8"))
+    h.update(shared_secret)
+    return h.digest()
+
+
+class DiffieHellman:
+    """One party of a classic finite-field DH exchange.
+
+    >>> a, b = DiffieHellman(seed=1), DiffieHellman(seed=2)
+    >>> a.shared_secret(b.public) == b.shared_secret(a.public)
+    True
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        if seed is None:
+            self._private = secrets.randbits(256) | 1
+        else:
+            # Deterministic private exponent for reproducible simulations.
+            digest = hashlib.blake2b(seed.to_bytes(8, "big"), digest_size=32).digest()
+            self._private = int.from_bytes(digest, "big") | 1
+        self.public = pow(DH_GENERATOR, self._private, DH_PRIME)
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """Compute the shared secret bytes from the peer's public value."""
+        if not 1 < peer_public < DH_PRIME - 1:
+            raise ConfigError("peer public value out of range")
+        secret = pow(peer_public, self._private, DH_PRIME)
+        return secret.to_bytes((DH_PRIME.bit_length() + 7) // 8, "big")
+
+    def session_keys(self, peer_public: int) -> tuple[bytes, bytes]:
+        """Derive the (AES, MAC) session key pair both enclaves will share."""
+        secret = self.shared_secret(peer_public)
+        return derive_key(secret, "aes", 16), derive_key(secret, "mac", 16)

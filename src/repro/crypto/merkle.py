@@ -1,0 +1,166 @@
+"""8-ary Bonsai Merkle Tree over version-number lines (Sec. 2.2).
+
+Following BMT, the tree protects only the VNs (data lines are covered by
+their MACs, which bind (C, PA, VN)); the root digest lives on chip. The
+"off-chip" node storage is exposed so the attack harness can tamper with it
+and tests can confirm detection. ``verify_leaf``/``update_leaf`` report the
+path length actually walked, which the MEE timing model converts into
+metadata traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError, IntegrityError
+
+_DIGEST_BYTES = 8  # modelled hash node width (64-bit, 8-ary tree of 64B nodes)
+
+
+def _node_hash(key: bytes, level: int, index: int, payload: bytes) -> bytes:
+    h = hashlib.blake2b(key=key, digest_size=_DIGEST_BYTES)
+    h.update(level.to_bytes(2, "big"))
+    h.update(index.to_bytes(8, "big"))
+    h.update(payload)
+    return h.digest()
+
+
+class BonsaiMerkleTree:
+    """Integrity tree with arity 8 and an on-chip root.
+
+    Leaves are byte strings (a 64-byte VN line in the MEE). Off-chip storage
+    (``_leaves`` and ``_nodes``) is tamperable via :meth:`tamper_leaf` /
+    :meth:`tamper_node`; the on-chip root is not.
+    """
+
+    ARITY = 8
+
+    def __init__(self, n_leaves: int, key: bytes = b"merkle") -> None:
+        if n_leaves <= 0:
+            raise ConfigError("tree needs at least one leaf")
+        self.n_leaves = n_leaves
+        self.key = key
+        self.levels = 1
+        width = n_leaves
+        while width > 1:
+            width = -(-width // self.ARITY)
+            self.levels += 1
+        self._leaves: Dict[int, bytes] = {}
+        # _nodes[(level, index)] = digest; level 1 is just above the leaves.
+        self._nodes: Dict[Tuple[int, int], bytes] = {}
+        self._root: bytes = b""
+        self._rebuild_all()
+
+    # -- construction ------------------------------------------------------
+
+    def _leaf(self, index: int) -> bytes:
+        return self._leaves.get(index, b"\x00")
+
+    def _level_width(self, level: int) -> int:
+        width = self.n_leaves
+        for _ in range(level):
+            width = -(-width // self.ARITY)
+        return width
+
+    def _compute_node(self, level: int, index: int) -> bytes:
+        """Digest of node (level, index) from its stored children."""
+        children: List[bytes] = []
+        if level == 1:
+            base = index * self.ARITY
+            for child in range(base, min(base + self.ARITY, self.n_leaves)):
+                children.append(_node_hash(self.key, 0, child, self._leaf(child)))
+        else:
+            base = index * self.ARITY
+            child_width = self._level_width(level - 1)
+            for child in range(base, min(base + self.ARITY, child_width)):
+                children.append(self._nodes[(level - 1, child)])
+        return _node_hash(self.key, level, index, b"".join(children))
+
+    def _rebuild_all(self) -> None:
+        for level in range(1, self.levels):
+            for index in range(self._level_width(level)):
+                self._nodes[(level, index)] = self._compute_node(level, index)
+        top = self.levels - 1
+        if top == 0:
+            self._root = _node_hash(self.key, 0, 0, self._leaf(0))
+        else:
+            self._root = self._nodes[(top, 0)]
+
+    # -- authenticated operations -----------------------------------------
+
+    def update_leaf(self, index: int, payload: bytes) -> int:
+        """Write a leaf and refresh its path to the root.
+
+        Returns the number of tree nodes rewritten (path length), the
+        quantity the MEE charges as metadata write traffic.
+        """
+        self._check_index(index)
+        self._leaves[index] = payload
+        walked = 0
+        node_index = index
+        for level in range(1, self.levels):
+            node_index //= self.ARITY
+            self._nodes[(level, node_index)] = self._compute_node(level, node_index)
+            walked += 1
+        top = self.levels - 1
+        if top == 0:
+            self._root = _node_hash(self.key, 0, 0, self._leaf(0))
+        else:
+            self._root = self._nodes[(top, 0)]
+        return walked
+
+    def verify_leaf(self, index: int, payload: bytes, trusted_level: int | None = None) -> int:
+        """Authenticate ``payload`` as leaf ``index``.
+
+        Recomputes the hash chain from the leaf upward, comparing against
+        off-chip stored nodes, stopping early at ``trusted_level`` (a level
+        whose node the metadata cache already holds verified) or at the
+        on-chip root. Returns the number of levels walked; raises
+        :class:`IntegrityError` on mismatch.
+        """
+        self._check_index(index)
+        if self._leaves.get(index, b"\x00") != payload:
+            raise IntegrityError(f"leaf {index} does not match off-chip storage")
+        walked = 0
+        node_index = index
+        for level in range(1, self.levels):
+            node_index //= self.ARITY
+            recomputed = self._compute_node(level, node_index)
+            stored = self._nodes[(level, node_index)]
+            walked += 1
+            if recomputed != stored:
+                raise IntegrityError(
+                    f"Merkle node (level {level}, index {node_index}) mismatch"
+                )
+            if trusted_level is not None and level >= trusted_level:
+                return walked
+        top = self.levels - 1
+        expected_root = (
+            _node_hash(self.key, 0, 0, self._leaf(0)) if top == 0 else self._nodes[(top, 0)]
+        )
+        if expected_root != self._root:
+            raise IntegrityError("Merkle root mismatch (on-chip root diverged)")
+        return walked
+
+    @property
+    def root(self) -> bytes:
+        """The on-chip root digest."""
+        return self._root
+
+    # -- attack surface (off-chip storage) ----------------------------------
+
+    def tamper_leaf(self, index: int, payload: bytes) -> None:
+        """Overwrite off-chip leaf storage *without* updating the tree."""
+        self._check_index(index)
+        self._leaves[index] = payload
+
+    def tamper_node(self, level: int, index: int, digest: bytes) -> None:
+        """Corrupt an off-chip interior node."""
+        if (level, index) not in self._nodes:
+            raise ConfigError(f"no node at (level {level}, index {index})")
+        self._nodes[(level, index)] = digest
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_leaves:
+            raise ConfigError(f"leaf index {index} out of range [0, {self.n_leaves})")

@@ -1,0 +1,11 @@
+"""Evaluation harness: one generator per paper figure/table.
+
+Each ``figNN`` module exposes a ``run(...)`` returning a result dataclass
+and a ``render(result)`` producing the ASCII table printed by the
+corresponding benchmark. ``repro.eval.runner`` regenerates everything into
+``results/``.
+"""
+
+from repro.eval.tables import ascii_table, save_result
+
+__all__ = ["ascii_table", "save_result"]

@@ -1,0 +1,139 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+1. **Meta Table capacity** — Sec. 6.2's scalability limitation: "if an
+   algorithm involves more than 512 tensors, the performance improvement
+   gradually diminishes". We sweep the tensor-count-to-capacity ratio and
+   report the steady-state hit_in.
+2. **Replacement policy** — pseudo-random vs strict LRU under cyclic reuse
+   (why the Meta Table needs random replacement).
+3. **Merge triggering** — merge window size vs convergence speed.
+4. **EnTMF off** — the whole unit disabled (non-tensor application mode):
+   everything misses, performance falls back to the SGX path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cpu.adam import AdamExperiment, AdamExperimentConfig
+from repro.eval.tables import ascii_table, fmt
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    label: str
+    hit_in_early: float  # iteration 1
+    hit_in_late: float  # final iteration
+    entries: int
+
+
+def _run(config: AdamExperimentConfig, iterations: int = 8) -> AblationRow:
+    experiment = AdamExperiment(config)
+    records = experiment.run(iterations)
+    return AblationRow(
+        label="",
+        hit_in_early=records[1].hit_in,
+        hit_in_late=records[-1].hit_in,
+        entries=records[-1].n_entries,
+    )
+
+
+def capacity_sweep(iterations: int = 8) -> List[AblationRow]:
+    """Steady-state hit rates as tensor count outgrows the Meta Table."""
+    rows = []
+    for n_layers, capacity in ((8, 512), (16, 512), (24, 288), (24, 160), (32, 160)):
+        config = AdamExperimentConfig(
+            n_layers=n_layers,
+            lines_per_tensor=32,
+            threads=8,
+            meta_table_capacity=capacity,
+            merge_window=4,
+            install_transfer_descriptors=True,
+        )
+        tensors = n_layers * 5
+        row = _run(config, iterations)
+        rows.append(
+            AblationRow(
+                label=f"{tensors} tensors / {capacity} entries",
+                hit_in_early=row.hit_in_early,
+                hit_in_late=row.hit_in_late,
+                entries=row.entries,
+            )
+        )
+    return rows
+
+
+def replacement_sweep(iterations: int = 8) -> List[AblationRow]:
+    """Random vs LRU replacement under shard-entry pressure."""
+    from repro.cpu.adam import AdamExperiment
+
+    rows = []
+    for policy in ("random", "lru"):
+        config = AdamExperimentConfig(
+            n_layers=24,
+            lines_per_tensor=32,
+            threads=8,
+            meta_table_capacity=288,
+            merge_window=4,
+        )
+        experiment = AdamExperiment(config)
+        experiment.analyzer.table.replacement = policy
+        records = experiment.run(iterations)
+        rows.append(
+            AblationRow(
+                label=policy,
+                hit_in_early=records[1].hit_in,
+                hit_in_late=records[-1].hit_in,
+                entries=records[-1].n_entries,
+            )
+        )
+    return rows
+
+
+def merge_window_sweep(iterations: int = 8) -> List[AblationRow]:
+    """Convergence speed vs merge window size."""
+    rows = []
+    for window in (2, 4, 8, 16):
+        config = AdamExperimentConfig(
+            n_layers=24,
+            lines_per_tensor=32,
+            threads=8,
+            meta_table_capacity=288,
+            merge_window=window,
+            install_transfer_descriptors=True,
+        )
+        row = _run(config, iterations)
+        rows.append(
+            AblationRow(
+                label=f"window={window}",
+                hit_in_early=row.hit_in_early,
+                hit_in_late=row.hit_in_late,
+                entries=row.entries,
+            )
+        )
+    return rows
+
+
+def entmf_disabled(iterations: int = 3) -> AblationRow:
+    """Tensor-wise management disabled: the SGX fallback path."""
+    config = AdamExperimentConfig(
+        n_layers=8, lines_per_tensor=32, threads=4, meta_table_capacity=512
+    )
+    experiment = AdamExperiment(config)
+    experiment.analyzer.enabled = False
+    records = experiment.run(iterations)
+    return AblationRow(
+        label="EnTMF=0",
+        hit_in_early=records[1].hit_in,
+        hit_in_late=records[-1].hit_in,
+        entries=records[-1].n_entries,
+    )
+
+
+def render(rows: List[AblationRow], title: str) -> str:
+    table = ascii_table(
+        ["configuration", "hit_in @1", "hit_in final", "entries"],
+        [(r.label, fmt(r.hit_in_early, 3), fmt(r.hit_in_late, 3), r.entries) for r in rows],
+    )
+    return f"{title}\n\n{table}"

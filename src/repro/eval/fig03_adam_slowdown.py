@@ -1,0 +1,65 @@
+"""Figure 3: CPU TEE slowdown of the Adam workload vs thread count.
+
+Paper shape: non-secure latency drops with threads; SGX latency flattens
+early (compute- to memory-intensive transition), with the slowdown growing
+to ~3.7x at 8 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cpu.config import CpuConfig
+from repro.cpu.sgx import sgx_costs
+from repro.cpu.timing import adam_latency, non_secure_costs
+from repro.eval.tables import ascii_table, fmt
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    threads: int
+    non_secure_s: float
+    sgx_s: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.sgx_s / self.non_secure_s
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    rows: List[Fig3Row]
+    n_params: int
+
+    @property
+    def max_slowdown(self) -> float:
+        return max(row.slowdown for row in self.rows)
+
+
+def run(n_params: int = 345_000_000, max_threads: int = 8) -> Fig3Result:
+    config = CpuConfig()
+    rows = []
+    for threads in range(1, max_threads + 1):
+        ns = adam_latency(config, n_params, threads, non_secure_costs()).total_s
+        sgx = adam_latency(
+            config, n_params, threads, sgx_costs(config, threads=threads)
+        ).total_s
+        rows.append(Fig3Row(threads, ns, sgx))
+    return Fig3Result(rows=rows, n_params=n_params)
+
+
+def render(result: Fig3Result) -> str:
+    base = result.rows[0].non_secure_s
+    table = ascii_table(
+        ["threads", "non-secure (norm)", "SGX (norm)", "slowdown"],
+        [
+            (r.threads, fmt(r.non_secure_s / base), fmt(r.sgx_s / base), fmt(r.slowdown))
+            for r in result.rows
+        ],
+    )
+    return (
+        "Figure 3 — Adam under SGX-like CPU TEE vs thread count\n"
+        f"(paper: slowdown grows to ~3.7x at 8 threads; ours: "
+        f"{result.max_slowdown:.2f}x)\n\n" + table
+    )

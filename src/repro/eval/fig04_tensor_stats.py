@@ -1,0 +1,65 @@
+"""Figure 4: tensor count / size characteristics of the optimizer update.
+
+Paper shape: tensor sizes grow to MBytes (hundreds of MB for the largest
+models) while the tensor count stays at a few hundred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.eval.tables import ascii_table, fmt
+from repro.units import MiB
+from repro.workloads.models import MODEL_ZOO, ModelConfig
+from repro.workloads.transformer import TransformerInventory
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    model: str
+    tensor_count: int
+    max_tensor_mib: float
+    max_layer_tensor_mib: float
+    mean_tensor_mib: float
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    rows: List[Fig4Row]
+
+    @property
+    def max_count(self) -> int:
+        return max(row.tensor_count for row in self.rows)
+
+
+def run(models: tuple[ModelConfig, ...] = MODEL_ZOO) -> Fig4Result:
+    rows = []
+    for model in models:
+        inventory = TransformerInventory(model)
+        rows.append(
+            Fig4Row(
+                model=model.name,
+                tensor_count=inventory.n_param_tensors,
+                max_tensor_mib=inventory.max_tensor_bytes / MiB,
+                max_layer_tensor_mib=inventory.max_layer_tensor_bytes / MiB,
+                mean_tensor_mib=inventory.mean_tensor_bytes / MiB,
+            )
+        )
+    return Fig4Result(rows=rows)
+
+
+def render(result: Fig4Result) -> str:
+    table = ascii_table(
+        ["model", "tensor num", "max MiB", "max layer-tensor MiB", "mean MiB"],
+        [
+            (r.model, r.tensor_count, fmt(r.max_tensor_mib, 1),
+             fmt(r.max_layer_tensor_mib, 1), fmt(r.mean_tensor_mib, 1))
+            for r in result.rows
+        ],
+    )
+    return (
+        "Figure 4 — optimizer-update tensor characteristics\n"
+        "(paper: counts stay at a few hundred, sizes reach 100s of MB)\n\n"
+        + table
+    )

@@ -1,0 +1,84 @@
+"""Figure 16: overall performance across the Table-2 zoo.
+
+Paper shape: TensorTEE speeds up 2.1x..5.5x (avg 4.0x) over SGX+MGX, with
+the gain growing with model size, while staying within ~2.1% of non-secure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import baseline_system, non_secure_system, tensortee_system
+from repro.core.system import CollaborativeSystem
+from repro.eval.tables import ascii_table, fmt, pct
+from repro.workloads.models import MODEL_ZOO, ModelConfig
+
+
+@dataclass(frozen=True)
+class Fig16Row:
+    model: str
+    non_secure_s: float
+    baseline_s: float
+    tensortee_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.tensortee_s
+
+    @property
+    def overhead(self) -> float:
+        return self.tensortee_s / self.non_secure_s - 1.0
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    rows: List[Fig16Row]
+
+    @property
+    def mean_speedup(self) -> float:
+        return sum(r.speedup for r in self.rows) / len(self.rows)
+
+    @property
+    def max_speedup(self) -> float:
+        return max(r.speedup for r in self.rows)
+
+    @property
+    def mean_overhead(self) -> float:
+        return sum(r.overhead for r in self.rows) / len(self.rows)
+
+
+def run(models: tuple[ModelConfig, ...] = MODEL_ZOO) -> Fig16Result:
+    systems = {
+        "ns": CollaborativeSystem(non_secure_system()),
+        "base": CollaborativeSystem(baseline_system()),
+        "ours": CollaborativeSystem(tensortee_system()),
+    }
+    rows = []
+    for model in models:
+        rows.append(
+            Fig16Row(
+                model=model.name,
+                non_secure_s=systems["ns"].iteration_breakdown(model).total_s,
+                baseline_s=systems["base"].iteration_breakdown(model).total_s,
+                tensortee_s=systems["ours"].iteration_breakdown(model).total_s,
+            )
+        )
+    return Fig16Result(rows=rows)
+
+
+def render(result: Fig16Result) -> str:
+    table = ascii_table(
+        ["model", "non-secure (s)", "SGX+MGX (s)", "TensorTEE (s)", "speedup", "vs NS"],
+        [
+            (r.model, fmt(r.non_secure_s, 3), fmt(r.baseline_s, 3),
+             fmt(r.tensortee_s, 3), fmt(r.speedup), pct(r.overhead))
+            for r in result.rows
+        ],
+    )
+    return (
+        "Figure 16 — overall per-iteration latency and TensorTEE speedup\n"
+        f"(paper: avg 4.0x / max 5.5x speedup, ~2.1% over non-secure; ours: "
+        f"avg {result.mean_speedup:.2f}x / max {result.max_speedup:.2f}x, "
+        f"{result.mean_overhead * 100:.1f}% over non-secure)\n\n" + table
+    )

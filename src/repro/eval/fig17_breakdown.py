@@ -1,0 +1,52 @@
+"""Figure 17: normalized stage breakdown per model under all three modes.
+
+Paper shape: the baseline's communication (weights+gradients) dominates;
+TensorTEE eliminates both the CPU-TEE overhead and the exposed transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import baseline_system, non_secure_system, tensortee_system
+from repro.core.results import StageBreakdown
+from repro.core.system import CollaborativeSystem
+from repro.eval.tables import ascii_table, pct
+from repro.workloads.models import MODEL_ZOO, ModelConfig
+
+
+@dataclass(frozen=True)
+class Fig17Result:
+    breakdowns: Dict[str, Dict[str, StageBreakdown]]  # model -> mode -> stages
+
+
+def run(models: tuple[ModelConfig, ...] = MODEL_ZOO) -> Fig17Result:
+    systems = {
+        "non-secure": CollaborativeSystem(non_secure_system()),
+        "sgx+mgx": CollaborativeSystem(baseline_system()),
+        "tensortee": CollaborativeSystem(tensortee_system()),
+    }
+    table: Dict[str, Dict[str, StageBreakdown]] = {}
+    for model in models:
+        table[model.name] = {
+            mode: system.iteration_breakdown(model) for mode, system in systems.items()
+        }
+    return Fig17Result(breakdowns=table)
+
+
+def render(result: Fig17Result) -> str:
+    rows: List[tuple] = []
+    for model_name, by_mode in result.breakdowns.items():
+        for mode, breakdown in by_mode.items():
+            f = breakdown.fractions()
+            rows.append(
+                (model_name, mode, pct(f["NPU"]), pct(f["CPU"]),
+                 pct(f["Comm W"]), pct(f["Comm G"]))
+            )
+    table = ascii_table(["model", "config", "NPU", "CPU", "Comm W", "Comm G"], rows)
+    return (
+        "Figure 17 — stage fractions per model and configuration\n"
+        "(paper: baseline dominated by comm + CPU; TensorTEE restores the\n"
+        " non-secure profile)\n\n" + table
+    )

@@ -1,0 +1,62 @@
+"""Figure 18: Meta Table hit rates across optimizer iterations.
+
+Paper shape: hit_all is high after a single iteration (detection essentially
+complete); hit_in converges gradually (~80% by iteration 5, ~95% by 20) as
+entry merging consolidates the per-core shard entries below table capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cpu.adam import AdamExperiment, AdamExperimentConfig, IterationStats
+
+
+#: Scaled configuration with the capacity pressure that makes convergence
+#: gradual: 24 layers x 5 buffers sharded over 8 threads start far above the
+#: scaled capacity and consolidate across iterations.
+FIG18_CONFIG = AdamExperimentConfig(
+    n_layers=24,
+    lines_per_tensor=64,
+    threads=8,
+    meta_table_capacity=288,
+    merge_window=4,
+    install_transfer_descriptors=True,
+    seed=2024,
+)
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    records: List[IterationStats]
+
+    def hit_in_at(self, iteration: int) -> float:
+        return self.records[iteration].hit_in
+
+    @property
+    def final_hit_all(self) -> float:
+        return self.records[-1].hit_all
+
+
+def run(iterations: int = 20, config: AdamExperimentConfig = FIG18_CONFIG) -> Fig18Result:
+    experiment = AdamExperiment(config)
+    return Fig18Result(records=experiment.run(iterations))
+
+
+def render(result: Fig18Result) -> str:
+    from repro.eval.tables import ascii_table, fmt
+
+    table = ascii_table(
+        ["iteration", "hit_in", "hit_boundary", "hit_all", "entries", "evictions"],
+        [
+            (r.iteration, fmt(r.hit_in, 3), fmt(r.hit_boundary, 3),
+             fmt(r.hit_all, 3), r.n_entries, int(r.evictions))
+            for r in result.records
+        ],
+    )
+    return (
+        "Figure 18 — Meta Table hit rate vs iteration (scaled functional run)\n"
+        "(paper: hit_all ~1 after one iteration; hit_in converges to ~0.95)\n\n"
+        + table
+    )

@@ -1,0 +1,61 @@
+"""Figure 20: NPU performance and storage vs MAC granularity.
+
+Paper shape: storage falls with granularity; performance overhead dips
+around 256 B then climbs to ~13% at 4 KB (verification stalls); TensorTEE's
+tensor-wise delayed scheme pays ~2.5% with negligible storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.eval.tables import ascii_table, pct
+from repro.npu.config import NpuConfig
+from repro.npu.mac import MacScheme, fig20_schemes
+
+
+@dataclass(frozen=True)
+class Fig20Row:
+    scheme: str
+    granule_bytes: int
+    storage_overhead: float
+    perf_overhead: float
+
+
+@dataclass(frozen=True)
+class Fig20Result:
+    rows: List[Fig20Row]
+
+    def row(self, name: str) -> Fig20Row:
+        for row in self.rows:
+            if row.scheme == name:
+                return row
+        raise KeyError(name)
+
+
+def run(config: NpuConfig | None = None) -> Fig20Result:
+    config = config if config is not None else NpuConfig()
+    rows = []
+    for scheme in fig20_schemes():
+        rows.append(
+            Fig20Row(
+                scheme=scheme.name,
+                granule_bytes=scheme.granule_bytes,
+                storage_overhead=scheme.storage_overhead(),
+                perf_overhead=scheme.performance_overhead(config),
+            )
+        )
+    return Fig20Result(rows=rows)
+
+
+def render(result: Fig20Result) -> str:
+    table = ascii_table(
+        ["MAC granularity", "storage overhead", "perf overhead"],
+        [(r.scheme, pct(r.storage_overhead), pct(r.perf_overhead)) for r in result.rows],
+    )
+    return (
+        "Figure 20 — MAC granularity sweep (NPU)\n"
+        "(paper: ~11-12% at 64B, dip near 256B, 13% at 4KB; ours 2.5%, ~0 storage)\n\n"
+        + table
+    )

@@ -1,0 +1,45 @@
+"""ASCII table rendering and result persistence."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width table."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def results_dir() -> str:
+    """The repo-level results directory (created on demand)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.abspath(os.path.join(here, "..", "..", ".."))
+    path = os.path.join(repo, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_result(name: str, text: str) -> str:
+    """Persist a rendered experiment to results/<name>.txt."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text.rstrip() + "\n")
+    return path
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def pct(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f}%"

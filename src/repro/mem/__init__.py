@@ -1,0 +1,19 @@
+"""Memory substrate: address layout, simulated DRAM contents, caches, timing."""
+
+from repro.mem.backing import SimulatedDram
+from repro.mem.cache import SetAssocCache
+from repro.mem.dram import DramTimingModel
+from repro.mem.layout import PageTable, line_index, line_of, page_of
+from repro.mem.metadata_cache import MetadataCache, MetadataKind
+
+__all__ = [
+    "SimulatedDram",
+    "SetAssocCache",
+    "DramTimingModel",
+    "PageTable",
+    "line_index",
+    "line_of",
+    "page_of",
+    "MetadataCache",
+    "MetadataKind",
+]

@@ -1,0 +1,71 @@
+"""Simulated off-chip DRAM contents.
+
+This is the *untrusted* store of the threat model (Sec. 2.4): the functional
+MEE writes only ciphertext here, and the attack harness
+(:mod:`repro.tee.attack`) gets raw access so it can snoop, tamper with and
+replay lines exactly like a bus adversary would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ConfigError
+from repro.units import CACHELINE_BYTES
+
+
+class SimulatedDram:
+    """A sparse, line-granular byte store."""
+
+    def __init__(self, line_bytes: int = CACHELINE_BYTES, name: str = "dram") -> None:
+        if line_bytes <= 0:
+            raise ConfigError("line size must be positive")
+        self.line_bytes = line_bytes
+        self.name = name
+        self._lines: Dict[int, bytes] = {}
+
+    def _check_aligned(self, addr: int) -> None:
+        if addr % self.line_bytes:
+            raise ConfigError(
+                f"{self.name}: address {addr:#x} not {self.line_bytes}B aligned"
+            )
+
+    def read_line(self, addr: int) -> bytes:
+        """Read one line (absent lines read as zeros)."""
+        self._check_aligned(addr)
+        return self._lines.get(addr, bytes(self.line_bytes))
+
+    def write_line(self, addr: int, data: bytes) -> None:
+        """Write one full line."""
+        self._check_aligned(addr)
+        if len(data) != self.line_bytes:
+            raise ConfigError(
+                f"{self.name}: line write needs {self.line_bytes}B, got {len(data)}"
+            )
+        self._lines[addr] = bytes(data)
+
+    def lines(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate (address, contents) of every resident line."""
+        yield from sorted(self._lines.items())
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently stored."""
+        return len(self._lines)
+
+    # -- attack surface ------------------------------------------------------
+
+    def snoop(self, addr: int) -> bytes:
+        """Bus-snoop a line (identical to read, named for threat-model use)."""
+        return self.read_line(addr)
+
+    def tamper(self, addr: int, data: bytes) -> None:
+        """Physically overwrite a line, bypassing any protection layer."""
+        self.write_line(addr, data)
+
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Flip a single bit of a stored line (targeted corruption)."""
+        self._check_aligned(addr)
+        raw = bytearray(self.read_line(addr))
+        raw[bit // 8] ^= 1 << (bit % 8)
+        self._lines[addr] = bytes(raw)

@@ -1,0 +1,112 @@
+"""A set-associative write-back cache simulator with LRU replacement.
+
+Used for the MEE metadata cache (Table 1: 32 KB) and for the LLC filter in
+front of the write path. Functional-only: it tracks presence and dirtiness,
+not contents (contents live in :class:`repro.mem.backing.SimulatedDram`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.sim.stats import Stats
+from repro.units import CACHELINE_BYTES
+
+
+@dataclass
+class CacheLineState:
+    """Residency record for one cached line."""
+
+    tag: int
+    dirty: bool = False
+
+
+class SetAssocCache:
+    """LRU set-associative cache over line addresses.
+
+    >>> c = SetAssocCache(capacity_bytes=1024, ways=2)
+    >>> c.access(0)      # cold miss
+    False
+    >>> c.access(0)
+    True
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int = 8,
+        line_bytes: int = CACHELINE_BYTES,
+        name: str = "cache",
+        stats: Optional[Stats] = None,
+    ) -> None:
+        if capacity_bytes <= 0 or ways <= 0:
+            raise ConfigError("cache capacity and associativity must be positive")
+        n_lines = capacity_bytes // line_bytes
+        if n_lines < ways:
+            raise ConfigError("cache smaller than one set")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = max(1, n_lines // ways)
+        self.name = name
+        self.stats = stats if stats is not None else Stats(name)
+        # Each set is an OrderedDict tag -> CacheLineState (LRU at front).
+        self._sets: Dict[int, OrderedDict[int, CacheLineState]] = {}
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Touch ``addr``; returns hit/miss. Misses fill the line."""
+        set_index, tag = self._locate(addr)
+        cache_set = self._sets.setdefault(set_index, OrderedDict())
+        state = cache_set.get(tag)
+        if state is not None:
+            cache_set.move_to_end(tag)
+            state.dirty = state.dirty or write
+            self.stats.add("hits")
+            return True
+        self.stats.add("misses")
+        if len(cache_set) >= self.ways:
+            _, victim = cache_set.popitem(last=False)
+            self.stats.add("evictions")
+            if victim.dirty:
+                self.stats.add("writebacks")
+        cache_set[tag] = CacheLineState(tag=tag, dirty=write)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Presence check without LRU update or fill."""
+        set_index, tag = self._locate(addr)
+        return tag in self._sets.get(set_index, {})
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if present; returns whether it was resident."""
+        set_index, tag = self._locate(addr)
+        cache_set = self._sets.get(set_index)
+        if cache_set is None or tag not in cache_set:
+            return False
+        del cache_set[tag]
+        self.stats.add("invalidations")
+        return True
+
+    def flush(self) -> int:
+        """Empty the cache; returns how many dirty lines were written back."""
+        dirty = 0
+        for cache_set in self._sets.values():
+            dirty += sum(1 for state in cache_set.values() if state.dirty)
+        self._sets.clear()
+        self.stats.add("flushes")
+        self.stats.add("writebacks", dirty)
+        return dirty
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit so far."""
+        total = self.stats["hits"] + self.stats["misses"]
+        if total == 0:
+            return 0.0
+        return self.stats["hits"] / total

@@ -1,0 +1,72 @@
+"""Virtual/physical address layout helpers.
+
+TenAnalyzer operates on *virtual* addresses precisely because physical pages
+are discontiguous (Fig. 9 of the paper): a tensor that is one contiguous VA
+range maps to shuffled physical pages. :class:`PageTable` reproduces that
+shuffling so the MEE (which works on PAs) and TenAnalyzer (VAs) disagree the
+same way real hardware does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.units import CACHELINE_BYTES, PAGE_BYTES
+
+
+def line_of(addr: int, line_bytes: int = CACHELINE_BYTES) -> int:
+    """Line-align an address."""
+    return addr - (addr % line_bytes)
+
+
+def line_index(addr: int, line_bytes: int = CACHELINE_BYTES) -> int:
+    """Index of the cacheline containing ``addr``."""
+    return addr // line_bytes
+
+
+def page_of(addr: int, page_bytes: int = PAGE_BYTES) -> int:
+    """Page-align an address."""
+    return addr - (addr % page_bytes)
+
+
+class PageTable:
+    """Deterministic VA→PA mapping with shuffled physical pages.
+
+    Pages are assigned physical frames in a pseudo-random order seeded at
+    construction, so contiguous virtual ranges become discontiguous physical
+    ranges (Fig. 9a/b). The mapping is built lazily on first touch.
+    """
+
+    def __init__(self, phys_base: int = 0x10_0000_0000, seed: int = 0x5EED) -> None:
+        self.phys_base = phys_base
+        self._rng = random.Random(seed)
+        self._va_to_frame: Dict[int, int] = {}
+        self._next_frame = 0
+        self._free_frames: list[int] = []
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a virtual address to its physical address."""
+        if vaddr < 0:
+            raise ConfigError(f"negative virtual address {vaddr:#x}")
+        vpage = page_of(vaddr)
+        frame = self._va_to_frame.get(vpage)
+        if frame is None:
+            frame = self._allocate_frame()
+            self._va_to_frame[vpage] = frame
+        return self.phys_base + frame * PAGE_BYTES + (vaddr - vpage)
+
+    def _allocate_frame(self) -> int:
+        # Keep a small pool so allocation order is shuffled, modelling an OS
+        # free list rather than a bump allocator.
+        while len(self._free_frames) < 8:
+            self._free_frames.append(self._next_frame)
+            self._next_frame += 1
+        pick = self._rng.randrange(len(self._free_frames))
+        return self._free_frames.pop(pick)
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of virtual pages touched so far."""
+        return len(self._va_to_frame)

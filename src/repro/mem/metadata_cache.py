@@ -1,0 +1,96 @@
+"""The MEE metadata cache (Table 1: 32 KB).
+
+Caches off-chip security metadata — VN lines, MAC lines and Merkle-tree
+nodes — in one shared structure. Each metadata object gets a synthetic line
+address in a per-kind region so different kinds never alias.
+
+A resident, *verified* Merkle node terminates a tree walk early (Sec. 2.2):
+``covered_level`` reports the lowest cached level above a VN line, which the
+MEE uses to decide how many tree levels a read must actually traverse.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.mem.cache import SetAssocCache
+from repro.sim.stats import Stats
+from repro.units import CACHELINE_BYTES, KiB
+
+
+class MetadataKind(enum.Enum):
+    """What a cached metadata line holds."""
+
+    VN = 0
+    MAC = 1
+    TREE = 2  # Merkle interior node; the level is encoded in the address
+
+
+# Synthetic address regions, 2^40 apart so kinds never collide.
+_REGION_STRIDE = 1 << 40
+
+
+class MetadataCache:
+    """Shared VN/MAC/Merkle-node cache with per-kind accounting."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 32 * KiB,
+        ways: int = 8,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else Stats("metadata_cache")
+        self._cache = SetAssocCache(
+            capacity_bytes=capacity_bytes,
+            ways=ways,
+            name="metadata",
+            stats=self.stats.scope("cache"),
+        )
+
+    @staticmethod
+    def _synthetic_addr(kind: MetadataKind, index: int, level: int = 0) -> int:
+        if index < 0 or level < 0:
+            raise ConfigError("metadata index/level must be non-negative")
+        region = (kind.value * 8 + level) * _REGION_STRIDE
+        return region + index * CACHELINE_BYTES
+
+    def access(
+        self,
+        kind: MetadataKind,
+        index: int,
+        level: int = 0,
+        write: bool = False,
+    ) -> bool:
+        """Touch metadata object ``index`` of ``kind``; returns hit/miss."""
+        hit = self._cache.access(self._synthetic_addr(kind, index, level), write=write)
+        label = kind.name.lower()
+        self.stats.add(f"{label}_hits" if hit else f"{label}_misses")
+        return hit
+
+    def contains(self, kind: MetadataKind, index: int, level: int = 0) -> bool:
+        """Presence probe without side effects."""
+        return self._cache.contains(self._synthetic_addr(kind, index, level))
+
+    def covered_level(self, vn_line_index: int, levels: int, arity: int = 8) -> int:
+        """Lowest Merkle level (1-based) above ``vn_line_index`` that is cached.
+
+        Returns ``levels`` (the root level) when nothing on the path is
+        resident — the walk must then go all the way to the on-chip root.
+        """
+        node = vn_line_index
+        for level in range(1, levels):
+            node //= arity
+            if self.contains(MetadataKind.TREE, node, level=level):
+                return level
+        return levels
+
+    def flush(self) -> int:
+        """Drop all metadata (context switch); returns dirty writebacks."""
+        return self._cache.flush()
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit rate across kinds."""
+        return self._cache.hit_rate

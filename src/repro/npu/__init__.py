@@ -1,0 +1,8 @@
+"""NPU-side models: systolic timing, tensor-granularity VN/MAC, delayed
+verification with poison tracing and the verification barrier."""
+
+from repro.npu.config import NpuConfig
+from repro.npu.vn import TensorVnTable
+from repro.npu.delayed import DelayedVerificationEngine
+
+__all__ = ["NpuConfig", "TensorVnTable", "DelayedVerificationEngine"]

@@ -1,0 +1,53 @@
+"""NPU configuration (Table 1) and its calibration constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.mem.dram import DramTimingModel, gddr5_npu
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class NpuConfig:
+    """TPUv3-like NPU from Table 1.
+
+    Peak: 512x512 PEs x 2 FLOP @ 1 GHz = 524 TFLOPS; ``compute_efficiency``
+    derates sustained GEMM throughput to ~A100 level (the paper aligns its
+    simulator against an A100).
+    """
+
+    freq_hz: float = 1.0e9
+    pe_rows: int = 512
+    pe_cols: int = 512
+    scratchpad_bytes: int = 32 * MiB
+    dram: DramTimingModel = field(default_factory=gddr5_npu)
+    aes_latency_cycles: int = 40
+    mac_latency_cycles: int = 40
+
+    # -- calibration ---------------------------------------------------------
+    #: Sustained fraction of peak MACs for large GEMMs (~A100-aligned).
+    compute_efficiency: float = 0.75
+    #: Streaming window per DMA stream; granule-verification bubbles are
+    #: proportional to granule_size / stall_window (Fig. 20 shape).
+    stall_window_bytes: int = 32 * KiB
+    #: Exposed verification-barrier tail per kernel, as a fraction of kernel
+    #: time (Sec. 6.3 reports ~2.5% for delayed tensor-wise verification).
+    barrier_tail_fraction: float = 0.025
+    #: Cap on concurrently-unverified tensors (Sec. 4.3 poison counter).
+    max_unverified_tensors: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compute_efficiency <= 1:
+            raise ConfigError("compute efficiency must be in (0, 1]")
+        if self.stall_window_bytes <= 0:
+            raise ConfigError("stall window must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        return 2.0 * self.pe_rows * self.pe_cols * self.freq_hz
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.peak_flops * self.compute_efficiency

@@ -1,0 +1,217 @@
+"""Delayed tensor-MAC verification with poison tracing (Sec. 4.3).
+
+The functional engine behind Fig. 13c / Fig. 14:
+
+- kernel reads stream lines *without* per-line MAC stalls; their MACs are
+  XOR-accumulated per tensor in the background;
+- tensors whose accumulation hasn't been checked yet are **poisoned**;
+  kernels propagate poison from inputs to outputs;
+- when a tensor's accumulator completes, it is compared against the on-chip
+  tensor MAC: match clears the poison, mismatch records a failed tensor —
+  any data derived from it stays poisoned forever;
+- the **verification barrier** blocks communication until the involved
+  tensors' poison bits clear, raising on verification failure, so tampered
+  data can never leave the NPU enclave;
+- **code fetches** never take the delayed path (non-delayed verification,
+  preventing delayed-verification code-tampering attacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.crypto.mac import TensorMacAccumulator
+from repro.errors import (
+    CodeIntegrityError,
+    ConfigError,
+    IntegrityError,
+    PoisonedTensorError,
+)
+from repro.mem.mee import FunctionalMee
+from repro.npu.config import NpuConfig
+from repro.npu.mac import OnChipTensorMacTable
+from repro.npu.vn import TensorVnTable
+from repro.sim.stats import Stats
+from repro.tensor.tensor import TensorDesc
+from repro.units import CACHELINE_BYTES
+
+LINE = CACHELINE_BYTES
+
+
+@dataclass
+class PendingVerification:
+    """A tensor read in-flight under delayed verification."""
+
+    tensor_id: int
+    accumulator: TensorMacAccumulator
+    vn: int
+
+
+class DelayedVerificationEngine:
+    """Tensor-granularity delayed integrity verification for NPU data."""
+
+    def __init__(
+        self,
+        config: NpuConfig,
+        mee: FunctionalMee,
+        vn_table: TensorVnTable,
+        mac_table: Optional[OnChipTensorMacTable] = None,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        self.config = config
+        self.mee = mee
+        self.vn_table = vn_table
+        self.mac_table = mac_table if mac_table is not None else OnChipTensorMacTable()
+        self.stats = stats if stats is not None else Stats("delayed_verify")
+        self._pending: Dict[int, PendingVerification] = {}
+        self._failed: Set[int] = set()
+        #: Poison lineage: output tensor id -> unverified input tensor ids.
+        self._deps: Dict[int, Set[int]] = {}
+
+    # -- write path -------------------------------------------------------------
+
+    def write_tensor(self, tensor: TensorDesc, data: bytes) -> None:
+        """Kernel output: encrypt lines under a fresh tensor VN and build
+        the on-chip tensor MAC incrementally."""
+        if len(data) != tensor.nbytes:
+            raise ConfigError(
+                f"{tensor.name}: payload is {len(data)} bytes, tensor needs {tensor.nbytes}"
+            )
+        vn = self.vn_table.begin_write(tensor)
+        tensor_mac = 0
+        for i, vaddr in enumerate(tensor.line_addresses()):
+            chunk = data[i * LINE : (i + 1) * LINE].ljust(LINE, b"\x00")
+            _, new_mac = self.mee.write_line(vaddr, chunk, vn=vn)
+            tensor_mac ^= new_mac
+        self.mac_table.set_mac(tensor.tensor_id, tensor_mac)
+        self.stats.add("tensor_writes")
+
+    # -- read path (delayed) --------------------------------------------------
+
+    def read_tensor_delayed(self, tensor: TensorDesc) -> bytes:
+        """Kernel input: decrypt immediately, verify in the background.
+
+        The returned plaintext is usable at once (no stalls); the tensor is
+        poisoned until :meth:`poll_verification` (or the barrier) confirms
+        the accumulated MAC. Enforces the unverified-tensor cap.
+        """
+        live_pending = len(self._pending)
+        if live_pending >= self.config.max_unverified_tensors:
+            # The Sec.-4.3 counter: force verification before continuing so
+            # a corrupted run cannot compute unboundedly on garbage.
+            self.poll_verification()
+        vn = self.vn_table.vn_of(tensor)
+        accumulator = TensorMacAccumulator(expected_lines=tensor.n_lines)
+        chunks: List[bytes] = []
+        for vaddr in tensor.line_addresses():
+            chunks.append(self.mee.read_line(vaddr, vn=vn, verify=False))
+            accumulator.absorb(self.mee.line_mac_of(vaddr, vn))
+        self._pending[tensor.tensor_id] = PendingVerification(
+            tensor_id=tensor.tensor_id, accumulator=accumulator, vn=vn
+        )
+        self.mac_table.set_poison(tensor.tensor_id, True)
+        self.stats.add("delayed_reads")
+        return b"".join(chunks)[: tensor.nbytes]
+
+    def read_code_line(self, vaddr: int) -> bytes:
+        """Instruction fetch: strict, non-delayed verification (Sec. 4.3).
+
+        Any integrity failure on the code path is fatal immediately —
+        delayed-verification attacks via tampered code are thereby
+        impossible.
+        """
+        vn = self.vn_table.vn_for_line(vaddr)
+        try:
+            return self.mee.read_line(vaddr, vn=vn, verify=True)
+        except IntegrityError as exc:
+            self.stats.add("code_integrity_failures")
+            raise CodeIntegrityError(str(exc)) from exc
+
+    # -- verification ------------------------------------------------------------
+
+    def poll_verification(self) -> List[int]:
+        """Finish all pending verifications; returns failed tensor ids.
+
+        Failed tensors stay poisoned permanently; clean tensors clear
+        (Fig. 14c: poison cleared after verification finishes).
+        """
+        failed: List[int] = []
+        verified: List[int] = []
+        for tensor_id, pending in list(self._pending.items()):
+            reference = self.mac_table.mac_of(tensor_id)
+            if pending.accumulator.matches(reference):
+                self.mac_table.set_poison(tensor_id, False)
+                verified.append(tensor_id)
+                self.stats.add("verified_ok")
+            else:
+                self._failed.add(tensor_id)
+                failed.append(tensor_id)
+                self.stats.add("verified_failed")
+            del self._pending[tensor_id]
+        # Resolve poison lineage: outputs whose unverified ancestors all
+        # verified cleanly lose their poison; descendants of failed tensors
+        # keep it permanently.
+        for out_id, dep_ids in list(self._deps.items()):
+            dep_ids.difference_update(verified)
+            if dep_ids & self._failed:
+                self._failed.add(out_id)
+                self.mac_table.set_poison(out_id, True)
+                del self._deps[out_id]
+            elif not dep_ids:
+                if out_id not in self._failed:
+                    self.mac_table.set_poison(out_id, False)
+                del self._deps[out_id]
+        return failed
+
+    # -- poison propagation (Fig. 14) ---------------------------------------------
+
+    def propagate_poison(
+        self, inputs: Sequence[TensorDesc], outputs: Sequence[TensorDesc]
+    ) -> bool:
+        """Mark kernel outputs poisoned when any input is unverified/failed."""
+        unverified = {
+            t.tensor_id
+            for t in inputs
+            if self.mac_table.is_poisoned(t.tensor_id) or t.tensor_id in self._failed
+        }
+        for out in outputs:
+            if unverified:
+                self.mac_table.set_poison(out.tensor_id, True)
+                pending_inputs = {
+                    t for t in unverified if t in self._pending or t in self._deps
+                }
+                if unverified & self._failed:
+                    self._failed.add(out.tensor_id)
+                else:
+                    self._deps.setdefault(out.tensor_id, set()).update(pending_inputs)
+                self.stats.add("poison_propagations")
+        return bool(unverified)
+
+    def verification_barrier(self, tensors: Sequence[TensorDesc]) -> None:
+        """``#pragma verification_barrier`` (Fig. 14a).
+
+        Completes all pending verifications, then requires every involved
+        tensor to be poison-free. Raises :class:`IntegrityError` when a
+        verification failed, :class:`PoisonedTensorError` when a tensor's
+        poison derives from a failed/unverifiable ancestor.
+        """
+        failed = self.poll_verification()
+        for tensor in tensors:
+            if tensor.tensor_id in self._failed or tensor.tensor_id in failed:
+                raise IntegrityError(
+                    f"tensor {tensor.name} failed delayed MAC verification"
+                )
+            if self.mac_table.is_poisoned(tensor.tensor_id):
+                raise PoisonedTensorError(
+                    f"tensor {tensor.name} is poisoned and cannot leave the enclave"
+                )
+        self.stats.add("barriers_passed")
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def failed_tensor_ids(self) -> Set[int]:
+        return set(self._failed)

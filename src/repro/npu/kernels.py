@@ -1,0 +1,111 @@
+"""Transformer forward+backward kernel schedule for the NPU.
+
+Lowers one training iteration of a Table-2 model to a GEMM/elementwise
+kernel list and sums roofline times. Backward costs roughly twice forward
+(two GEMMs per forward GEMM); attention score/context GEMMs are batched per
+head. This is the "NPU fwd & bwd" stage of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.npu.config import NpuConfig
+from repro.npu.systolic import GemmShape, KernelTime, elementwise_time, gemm_time
+from repro.workloads.models import ModelConfig
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One scheduled kernel and its timing."""
+
+    name: str
+    time: KernelTime
+    io_bytes: float
+
+
+def layer_gemms(model: ModelConfig, tokens: int) -> List[Tuple[str, GemmShape]]:
+    """Projection/MLP GEMMs of one transformer layer's forward pass.
+
+    The attention score/softmax/context chain is fused separately (see
+    :func:`fused_attention_time`): per (batch, head) the s x s score tile
+    fits in the scratchpad, so it never touches GDDR — the paper's
+    "automatic tiling and inter-layer optimization".
+    """
+    h, ffn = model.hidden, model.ffn
+    gemms: List[Tuple[str, GemmShape]] = [
+        ("attn.qkv", GemmShape(tokens, 3 * h, h)),
+        ("attn.out", GemmShape(tokens, h, h)),
+    ]
+    if model.gated_mlp:
+        gemms.append(("mlp.gate", GemmShape(tokens, ffn, h)))
+    gemms.append(("mlp.up", GemmShape(tokens, ffn, h)))
+    gemms.append(("mlp.down", GemmShape(tokens, h, ffn)))
+    return gemms
+
+
+def fused_attention_time(config: NpuConfig, model: ModelConfig) -> KernelTime:
+    """Fused scores+softmax+context: reads Q/K/V, writes the context out.
+
+    Compute covers both s x s GEMM chains per (batch, head); GDDR traffic is
+    only the 4 token x hidden activations (the s x s intermediates stay on
+    chip).
+    """
+    seq = model.seq_len
+    head_dim = model.hidden // model.n_heads
+    batch_heads = model.batch_size * model.n_heads
+    flops = 2.0 * 2.0 * batch_heads * seq * seq * head_dim
+    compute_s = flops / config.sustained_flops
+    io_bytes = 4.0 * model.tokens_per_batch * model.hidden * 2
+    io_s = io_bytes / config.dram.effective_stream_bw
+    return KernelTime(compute_s=compute_s, io_s=io_s)
+
+
+def iteration_kernels(config: NpuConfig, model: ModelConfig) -> List[KernelRecord]:
+    """All kernels of one fwd+bwd iteration (backward = 2x each fwd GEMM)."""
+    tokens = model.tokens_per_batch
+    records: List[KernelRecord] = []
+    per_layer = layer_gemms(model, tokens)
+    attn = fused_attention_time(config, model)
+    attn_io = 4.0 * tokens * model.hidden * 2
+    for layer in range(model.n_layers):
+        for name, shape in per_layer:
+            fwd = gemm_time(config, shape)
+            records.append(KernelRecord(f"l{layer}.{name}.fwd", fwd, shape.io_bytes()))
+            for direction in ("bwd_data", "bwd_weight"):
+                bwd = gemm_time(config, shape)
+                records.append(
+                    KernelRecord(f"l{layer}.{name}.{direction}", bwd, shape.io_bytes())
+                )
+        for direction in ("fwd", "bwd"):
+            scale = 1.0 if direction == "fwd" else 2.0
+            records.append(
+                KernelRecord(
+                    f"l{layer}.attn.fused.{direction}",
+                    KernelTime(attn.compute_s * scale, attn.io_s * scale),
+                    attn_io * scale,
+                )
+            )
+        # ~2 fused activation maps per layer (norms + residuals).
+        act_elems = tokens * model.hidden * 2
+        act = elementwise_time(config, act_elems)
+        records.append(
+            KernelRecord(f"l{layer}.elementwise", act, 3.0 * act_elems * 2)
+        )
+    # Embedding/unembedding GEMMs.
+    emb = GemmShape(tokens, model.vocab, model.hidden)
+    emb_time = gemm_time(config, emb)
+    records.append(KernelRecord("unembed.fwd", emb_time, emb.io_bytes()))
+    records.append(KernelRecord("unembed.bwd", emb_time, emb.io_bytes()))
+    return records
+
+
+def iteration_time_s(config: NpuConfig, model: ModelConfig) -> float:
+    """Non-secure NPU time of one fwd+bwd iteration."""
+    return sum(record.time.total_s for record in iteration_kernels(config, model))
+
+
+def iteration_io_bytes(config: NpuConfig, model: ModelConfig) -> float:
+    """Total GDDR traffic of one iteration (drives MAC-overhead scaling)."""
+    return sum(record.io_bytes for record in iteration_kernels(config, model))

@@ -1,0 +1,128 @@
+"""MAC granularity schemes for NPU memory integrity (Sec. 4.3 / Fig. 20).
+
+The granularity trades storage against verification behaviour:
+
+- fine (64 B): one MAC per line — high storage overhead (56/512 bits ≈
+  10.9%) and extra fetch traffic, but verification completes per line;
+- coarse (512 B .. 4 KB, MGX/GuardNN style): less storage, but a line can
+  only be *consumed* after its whole granule arrived and verified →
+  pipeline bubbles (Fig. 13b);
+- tensor-wise (TensorTEE): one on-chip XOR MAC per tensor — storage is the
+  on-chip table only, and delayed verification removes the stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.npu.config import NpuConfig
+from repro.sim.stats import Stats
+from repro.units import CACHELINE_BYTES, MAC_BITS
+
+MAC_BYTES = MAC_BITS // 8  # 7
+
+
+@dataclass(frozen=True)
+class MacScheme:
+    """One point of the Fig. 20 sweep."""
+
+    name: str
+    granule_bytes: int  # 0 encodes tensor-granularity
+    delayed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.granule_bytes < 0:
+            raise ConfigError("granule must be non-negative")
+        if self.granule_bytes and self.granule_bytes % CACHELINE_BYTES:
+            raise ConfigError("granule must be a multiple of the line size")
+
+    @property
+    def is_tensor_wise(self) -> bool:
+        return self.granule_bytes == 0
+
+    def storage_overhead(self) -> float:
+        """Off-chip MAC storage as a fraction of protected data."""
+        if self.is_tensor_wise:
+            return 0.0  # the per-tensor table lives on chip (Sec. 6.5)
+        return MAC_BYTES / self.granule_bytes
+
+    def traffic_overhead(self) -> float:
+        """Extra DRAM traffic for MAC fetches as a fraction of data bytes."""
+        if self.is_tensor_wise:
+            return 0.0
+        return MAC_BYTES / self.granule_bytes
+
+    def stall_overhead(self, config: NpuConfig) -> float:
+        """Pipeline-bubble fraction from granule-completion waits.
+
+        A line decrypted early in a granule cannot feed the array until the
+        granule's MAC verifies, which happens only after its last line
+        arrives — the exposed wait grows with the granule relative to the
+        DMA streaming window (Fig. 13b/Fig. 20: ~13% at 4 KB).
+        """
+        if self.is_tensor_wise and self.delayed:
+            return 0.0
+        granule = self.granule_bytes if self.granule_bytes else config.scratchpad_bytes
+        # At worst the pipeline fully serializes fetch+verify against compute
+        # (Fig. 13b: non-delayed whole-tensor verification doubles the time).
+        return min(1.0, granule / config.stall_window_bytes)
+
+    def performance_overhead(self, config: NpuConfig) -> float:
+        """Total kernel-time overhead fraction of this scheme.
+
+        MAC fetches inflate the DMA streams that feed the array (tile
+        loading gates the systolic pipeline), so traffic overhead applies
+        in full; granule-completion stalls add on top. Tensor-wise delayed
+        verification pays only the barrier tail (Sec. 6.3: ~2.5%).
+        """
+        if self.is_tensor_wise and self.delayed:
+            return config.barrier_tail_fraction
+        return self.traffic_overhead() + self.stall_overhead(config)
+
+
+def fig20_schemes() -> list[MacScheme]:
+    """The granularities of Fig. 20 plus TensorTEE's tensor-wise scheme."""
+    points = [64, 256, 512, 1024, 2048, 4096]
+    schemes = [MacScheme(f"{g}B", g) for g in points]
+    schemes.append(MacScheme("tensor(ours)", 0, delayed=True))
+    return schemes
+
+
+class OnChipTensorMacTable:
+    """The on-chip per-tensor MAC/poison table (Sec. 4.3, Sec. 6.5)."""
+
+    def __init__(self, capacity: int = 512, stats: Optional[Stats] = None) -> None:
+        if capacity <= 0:
+            raise ConfigError("table capacity must be positive")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else Stats("tensor_mac")
+        self._macs: Dict[int, int] = {}
+        self._poison: Dict[int, bool] = {}
+
+    def set_mac(self, tensor_id: int, mac: int) -> None:
+        if len(self._macs) >= self.capacity and tensor_id not in self._macs:
+            raise ConfigError("tensor MAC table overflow (more than capacity tensors)")
+        self._macs[tensor_id] = mac
+
+    def mac_of(self, tensor_id: int) -> int:
+        return self._macs.get(tensor_id, 0)
+
+    def fold(self, tensor_id: int, delta: int) -> None:
+        """XOR a line-MAC delta into the tensor MAC (incremental update)."""
+        self._macs[tensor_id] = self._macs.get(tensor_id, 0) ^ delta
+
+    # -- poison bits (Sec. 4.3) ----------------------------------------------
+
+    def set_poison(self, tensor_id: int, poisoned: bool = True) -> None:
+        self._poison[tensor_id] = poisoned
+        if poisoned:
+            self.stats.add("poisons_set")
+
+    def is_poisoned(self, tensor_id: int) -> bool:
+        return self._poison.get(tensor_id, False)
+
+    @property
+    def poisoned_count(self) -> int:
+        return sum(1 for value in self._poison.values() if value)

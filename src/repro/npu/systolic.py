@@ -1,0 +1,77 @@
+"""Output-stationary systolic-array timing (TPUv3-like, Sec. 5.1).
+
+GEMM kernels are tiled over the PE array; per output tile the array streams
+K partial sums, plus fill/drain overhead. Kernel time is the roofline
+maximum of compute time and GDDR streaming time (weights + activations),
+with automatic tiling handled implicitly by the scratchpad double-buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.npu.config import NpuConfig
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """C[m, n] += A[m, k] @ B[k, n]."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ConfigError(f"GEMM dims must be positive: {self}")
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    def io_bytes(self, elem_bytes: int = 2) -> float:
+        """Operands read and output written once (consumers charge their
+        own re-reads; scratchpad tiling avoids intra-kernel re-fetch)."""
+        return elem_bytes * (self.m * self.k + self.k * self.n + self.m * self.n)
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Timing decomposition of one kernel."""
+
+    compute_s: float
+    io_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.io_s)
+
+    @property
+    def io_bound(self) -> bool:
+        return self.io_s > self.compute_s
+
+
+def gemm_time(config: NpuConfig, shape: GemmShape, elem_bytes: int = 2) -> KernelTime:
+    """Roofline time of one GEMM on the systolic array."""
+    rows, cols = config.pe_rows, config.pe_cols
+    row_tiles = -(-shape.m // rows)
+    col_tiles = -(-shape.n // cols)
+    # Output-stationary with back-to-back tile pipelining: successive output
+    # tiles overlap fill with the previous drain, leaving a modest per-tile
+    # swap overhead plus one array fill+drain per kernel.
+    tile_swap_cycles = 32
+    cycles = row_tiles * col_tiles * (shape.k + tile_swap_cycles) + rows + cols
+    compute_s = cycles / (config.freq_hz * config.compute_efficiency)
+    io_s = shape.io_bytes(elem_bytes) / config.dram.effective_stream_bw
+    return KernelTime(compute_s=compute_s, io_s=io_s)
+
+
+def elementwise_time(config: NpuConfig, n_elements: int, elem_bytes: int = 2) -> KernelTime:
+    """Memory-bound elementwise kernel (activations, residuals, norms)."""
+    if n_elements < 0:
+        raise ConfigError("element count must be non-negative")
+    io_bytes = 3.0 * n_elements * elem_bytes  # two reads + one write
+    io_s = io_bytes / config.dram.effective_stream_bw
+    compute_s = n_elements / (config.pe_rows * config.pe_cols * config.freq_hz)
+    return KernelTime(compute_s=compute_s, io_s=io_s)

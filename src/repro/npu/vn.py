@@ -1,0 +1,76 @@
+"""On-chip tensor-granularity VN management (MGX-like, Sec. 2.3).
+
+The NPU generates VNs from on-chip execution state: one VN per tensor,
+bumped when a kernel (re)writes the tensor. No off-chip VN storage and no
+Merkle tree are needed because the table never leaves the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.sim.stats import Stats
+from repro.tensor.registry import TensorRegistry
+from repro.tensor.tensor import TensorDesc
+
+
+@dataclass
+class TensorVnRecord:
+    """On-chip state for one tensor."""
+
+    tensor_id: int
+    vn: int = 0
+
+
+class TensorVnTable:
+    """Per-tensor VN table keyed by the device's tensor registry."""
+
+    def __init__(self, registry: TensorRegistry, stats: Optional[Stats] = None) -> None:
+        self.registry = registry
+        self.stats = stats if stats is not None else Stats("tensor_vn")
+        self._records: Dict[int, TensorVnRecord] = {}
+
+    def _record(self, tensor: TensorDesc) -> TensorVnRecord:
+        record = self._records.get(tensor.tensor_id)
+        if record is None:
+            record = TensorVnRecord(tensor_id=tensor.tensor_id)
+            self._records[tensor.tensor_id] = record
+        return record
+
+    def resolve(self, vaddr: int) -> TensorDesc:
+        """Tensor owning an address; NPU memory is fully tensor-mapped."""
+        tensor = self.registry.find(vaddr)
+        if tensor is None:
+            raise ConfigError(f"address {vaddr:#x} is not tensor-mapped")
+        return tensor
+
+    def vn_of(self, tensor: TensorDesc) -> int:
+        """Current VN of a tensor."""
+        return self._record(tensor).vn
+
+    def vn_for_line(self, vaddr: int) -> int:
+        """Current VN of the tensor containing ``vaddr``."""
+        return self.vn_of(self.resolve(vaddr))
+
+    def begin_write(self, tensor: TensorDesc) -> int:
+        """Start rewriting a tensor: bump and return the new VN.
+
+        Kernel outputs are whole-tensor writes in the MGX model; the VN is
+        bumped once per output tensor per kernel.
+        """
+        record = self._record(tensor)
+        record.vn += 1
+        self.stats.add("vn_bumps")
+        return record.vn
+
+    def set_vn(self, tensor: TensorDesc, vn: int) -> None:
+        """Install a VN received over the trusted channel (Sec. 4.4.2)."""
+        if vn < 0:
+            raise ConfigError("VN must be non-negative")
+        self._record(tensor).vn = vn
+
+    @property
+    def n_tracked(self) -> int:
+        return len(self._records)

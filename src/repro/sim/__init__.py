@@ -1,0 +1,7 @@
+"""Simulation kernel: clock domains, statistics, discrete-event engine."""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Event, EventEngine
+from repro.sim.stats import Stats
+
+__all__ = ["Clock", "Event", "EventEngine", "Stats"]

@@ -1,0 +1,46 @@
+"""Clock domains.
+
+The CPU runs at 3.5 GHz and the NPU at 1 GHz (Table 1). Components express
+latencies in their own cycles; cross-domain composition happens in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A fixed-frequency clock domain.
+
+    >>> cpu = Clock(name="cpu", freq_hz=3.5e9)
+    >>> cpu.cycles_to_seconds(35)
+    1e-08
+    """
+
+    name: str
+    freq_hz: float
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ConfigError(f"clock {self.name!r} needs a positive frequency")
+
+    @property
+    def period_s(self) -> float:
+        """Duration of one cycle in seconds."""
+        return 1.0 / self.freq_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count in this domain to seconds."""
+        return cycles / self.freq_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to (fractional) cycles in this domain."""
+        return seconds * self.freq_hz
+
+
+#: Clock domains from Table 1.
+CPU_CLOCK = Clock(name="cpu", freq_hz=3.5e9)
+NPU_CLOCK = Clock(name="npu", freq_hz=1.0e9)

@@ -1,0 +1,82 @@
+"""Hierarchical statistics registry.
+
+Every simulated component owns a :class:`Stats` scope and bumps named
+counters; scopes nest so a whole-system report can be rendered at the end of
+a run. Counters are plain floats — rates and ratios are computed on demand.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Stats:
+    """A nestable bag of named counters.
+
+    >>> s = Stats("mee")
+    >>> s.add("reads", 3)
+    >>> s["reads"]
+    3.0
+    >>> child = s.scope("metadata_cache")
+    >>> child.add("hits")
+    >>> dict(s.flat())["mee.metadata_cache.hits"]
+    1.0
+    """
+
+    def __init__(self, name: str = "root") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._children: Dict[str, "Stats"] = {}
+
+    def add(self, key: str, value: float = 1.0) -> None:
+        """Increment counter ``key`` by ``value``."""
+        self._counters[key] += value
+
+    def set(self, key: str, value: float) -> None:
+        """Overwrite counter ``key`` with ``value``."""
+        self._counters[key] = value
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """Read counter ``key`` (``default`` when absent)."""
+        return self._counters.get(key, default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def scope(self, name: str) -> "Stats":
+        """Return (creating on first use) the child scope ``name``."""
+        if name not in self._children:
+            self._children[name] = Stats(name)
+        return self._children[name]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` counters; 0.0 when denominator is 0."""
+        denom = self._counters.get(denominator, 0.0)
+        if denom == 0.0:
+            return 0.0
+        return self._counters.get(numerator, 0.0) / denom
+
+    def reset(self) -> None:
+        """Zero all counters in this scope and children."""
+        self._counters.clear()
+        for child in self._children.values():
+            child.reset()
+
+    def flat(self, prefix: str | None = None) -> Iterator[Tuple[str, float]]:
+        """Yield ``(dotted.name, value)`` for this scope and all children."""
+        base = self.name if prefix is None else prefix
+        for key in sorted(self._counters):
+            yield f"{base}.{key}", self._counters[key]
+        for child_name in sorted(self._children):
+            child = self._children[child_name]
+            yield from child.flat(prefix=f"{base}.{child_name}")
+
+    def report(self) -> str:
+        """Render a sorted ``name = value`` listing."""
+        lines = [f"{name} = {value:g}" for name, value in self.flat()]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_keys = len(self._counters)
+        return f"Stats({self.name!r}, {n_keys} counters, {len(self._children)} children)"

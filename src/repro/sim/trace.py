@@ -1,0 +1,76 @@
+"""Memory-trace record types shared by the workload generators and TEEs.
+
+A trace is an iterable of :class:`MemAccess`. The TenAnalyzer consumes the
+*core-side virtual-address* stream (Fig. 9b of the paper); the MEE consumes
+the *memory-controller physical* stream. ``tensor_id`` tags are generator
+ground truth used only for accuracy accounting, never by the hardware models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+class AccessKind(enum.Enum):
+    """What a memory request is for."""
+
+    READ = "R"
+    WRITE = "W"
+    INST = "I"  # instruction fetch (isInst flag, Sec. 4.3)
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One 64-byte-line memory request.
+
+    ``vaddr`` is the line-aligned virtual address issued by a core;
+    ``thread`` identifies the issuing hardware thread; ``tensor_id`` is
+    ground-truth provenance for accuracy accounting (-1 = non-tensor data).
+    """
+
+    vaddr: int
+    kind: AccessKind = AccessKind.READ
+    thread: int = 0
+    tensor_id: int = -1
+
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+    def is_inst(self) -> bool:
+        return self.kind is AccessKind.INST
+
+
+def reads(addresses: Iterable[int], thread: int = 0, tensor_id: int = -1) -> Iterator[MemAccess]:
+    """Wrap raw line addresses into read accesses."""
+    for addr in addresses:
+        yield MemAccess(vaddr=addr, kind=AccessKind.READ, thread=thread, tensor_id=tensor_id)
+
+
+def writes(addresses: Iterable[int], thread: int = 0, tensor_id: int = -1) -> Iterator[MemAccess]:
+    """Wrap raw line addresses into write accesses."""
+    for addr in addresses:
+        yield MemAccess(vaddr=addr, kind=AccessKind.WRITE, thread=thread, tensor_id=tensor_id)
+
+
+def interleave_round_robin(streams: List[List[MemAccess]], chunk: int = 4) -> List[MemAccess]:
+    """Interleave per-thread streams in round-robin ``chunk``-sized bursts.
+
+    Models how requests from multiple cores arrive interleaved at the memory
+    controller (the disruption TenAnalyzer must tolerate, Sec. 4.2).
+    """
+    cursors = [0] * len(streams)
+    merged: List[MemAccess] = []
+    remaining = sum(len(s) for s in streams)
+    while remaining:
+        for idx, stream in enumerate(streams):
+            start = cursors[idx]
+            if start >= len(stream):
+                continue
+            stop = min(start + chunk, len(stream))
+            merged.extend(stream[start:stop])
+            taken = stop - start
+            cursors[idx] = stop
+            remaining -= taken
+    return merged

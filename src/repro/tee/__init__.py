@@ -1,0 +1,6 @@
+"""Enclave lifecycle, secure devices and the threat-model attack harness."""
+
+from repro.tee.enclave import Enclave, TrustDomain
+from repro.tee.device import CpuSecureDevice, NpuSecureDevice
+
+__all__ = ["Enclave", "TrustDomain", "CpuSecureDevice", "NpuSecureDevice"]

@@ -1,0 +1,71 @@
+"""The threat-model adversary (Sec. 2.4).
+
+A bus/privileged-software attacker with full access to everything *off*
+chip: DRAM contents, the off-chip metadata stores, and the PCIe link. The
+class wraps the raw tamper surfaces of the simulated devices so tests and
+examples read like the attack they model.
+
+Nothing here can touch on-chip state (Meta Table, tensor VN/MAC tables,
+Merkle root, session keys) — that is the TCB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.mem.mee import FunctionalMee
+from repro.tensor.tensor import TensorDesc
+from repro.units import CACHELINE_BYTES
+
+LINE = CACHELINE_BYTES
+
+
+@dataclass
+class Adversary:
+    """Bus-level attacker against one device's off-chip memory."""
+
+    mee: FunctionalMee
+    name: str = "adversary"
+    _snapshots: Dict[int, Tuple[bytes, int, int]] = field(default_factory=dict)
+
+    # -- passive -------------------------------------------------------------
+
+    def snoop_line(self, vaddr: int) -> bytes:
+        """Observe a line on the bus (ciphertext only — confidentiality)."""
+        ciphertext, _ = self.mee.snoop(vaddr)
+        return ciphertext
+
+    def snoop_tensor(self, tensor: TensorDesc) -> List[bytes]:
+        """Capture a whole tensor's ciphertext."""
+        return [self.snoop_line(va) for va in tensor.line_addresses()]
+
+    def snapshot(self, vaddr: int) -> None:
+        """Record (ciphertext, MAC, off-chip VN) for a later replay."""
+        ciphertext, mac = self.mee.snoop(vaddr)
+        index = self.mee._line_index(self.mee._pa_of(vaddr))
+        self._snapshots[vaddr] = (ciphertext, mac, self.mee.vn_store.get(index, 0))
+
+    # -- active --------------------------------------------------------------
+
+    def flip_bit(self, vaddr: int, bit: int = 0) -> None:
+        """Corrupt stored ciphertext (physical fault / bus manipulation)."""
+        self.mee.tamper_ciphertext(vaddr, flip_bit=bit)
+
+    def corrupt_mac(self, vaddr: int) -> None:
+        """Corrupt the off-chip MAC store."""
+        index = self.mee._line_index(self.mee._pa_of(vaddr))
+        self.mee.mac_store[index] = self.mee.mac_store.get(index, 0) ^ 0x1
+
+    def replay(self, vaddr: int, rollback_vn: bool = False) -> None:
+        """Write a snapshot back; optionally roll the off-chip VN back too."""
+        ciphertext, mac, vn = self._snapshots[vaddr]
+        self.mee.replay_line(vaddr, ciphertext, mac)
+        if rollback_vn:
+            index = self.mee._line_index(self.mee._pa_of(vaddr))
+            self.mee.vn_store[index] = vn
+
+    def splice(self, src_vaddr: int, dst_vaddr: int) -> None:
+        """Move valid (ciphertext, MAC) from one address to another."""
+        ciphertext, mac = self.mee.snoop(src_vaddr)
+        self.mee.replay_line(dst_vaddr, ciphertext, mac)

@@ -1,0 +1,92 @@
+"""Enclave lifecycle and mutual attestation (Sec. 4.4.2).
+
+Authentication phase of the protocol: the CPU creates its enclave
+(measuring code+config into a report), requests an NPU enclave creation,
+both sides verify each other's report against expected measurements, then a
+DH exchange derives the shared AES/MAC session keys that both memory
+encryption engines use — the keys never cross the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.attestation import AttestationReport, Attestor, measure
+from repro.crypto.keys import DiffieHellman, derive_key
+from repro.errors import AttestationError, EnclaveError
+
+
+@dataclass
+class Enclave:
+    """One enclave instance on a device."""
+
+    name: str
+    code: bytes
+    config_blob: bytes = b""
+    created: bool = False
+    measurement: bytes = b""
+    _dh: Optional[DiffieHellman] = field(default=None, repr=False)
+
+    def create(self, dh_seed: Optional[int] = None) -> bytes:
+        """Copy-in + measure: returns the enclave measurement."""
+        if self.created:
+            raise EnclaveError(f"enclave {self.name!r} already created")
+        self.measurement = measure(self.code, self.config_blob)
+        self._dh = DiffieHellman(seed=dh_seed)
+        self.created = True
+        return self.measurement
+
+    @property
+    def dh_public(self) -> int:
+        if not self.created or self._dh is None:
+            raise EnclaveError(f"enclave {self.name!r} not created")
+        return self._dh.public
+
+    def session_keys(self, peer_public: int) -> Tuple[bytes, bytes]:
+        """Derive the shared (AES, MAC) session keys."""
+        if not self.created or self._dh is None:
+            raise EnclaveError(f"enclave {self.name!r} not created")
+        return self._dh.session_keys(peer_public)
+
+    def destroy(self) -> None:
+        """Tear the enclave down; keys are erased."""
+        self.created = False
+        self._dh = None
+        self.measurement = b""
+
+
+class TrustDomain:
+    """A manufacturer root that provisions per-device attestation keys."""
+
+    def __init__(self, root_secret: bytes = b"simulated-manufacturer-root") -> None:
+        self._root = root_secret
+
+    def attestor_for(self, device_name: str) -> Attestor:
+        """Device attestation key derived from the root."""
+        return Attestor(derive_key(self._root, f"device:{device_name}", 16))
+
+
+def mutual_attestation(
+    cpu_enclave: Enclave,
+    npu_enclave: Enclave,
+    domain: TrustDomain,
+) -> Tuple[Tuple[bytes, bytes], Tuple[bytes, bytes]]:
+    """Run the authentication phase; returns each side's session keys.
+
+    Raises :class:`AttestationError` if either report fails verification.
+    Both key tuples are equal on success — asserted by the caller's tests,
+    not trusted silently here.
+    """
+    cpu_attestor = domain.attestor_for("cpu")
+    npu_attestor = domain.attestor_for("npu")
+    cpu_report = cpu_attestor.report("cpu-enclave", cpu_enclave.measurement)
+    npu_report = npu_attestor.report("npu-enclave", npu_enclave.measurement)
+    # Each side verifies the peer's report against the expected measurement.
+    npu_attestor.verify(npu_report, npu_enclave.measurement)
+    cpu_attestor.verify(cpu_report, cpu_enclave.measurement)
+    cpu_keys = cpu_enclave.session_keys(npu_enclave.dh_public)
+    npu_keys = npu_enclave.session_keys(cpu_enclave.dh_public)
+    if cpu_keys != npu_keys:
+        raise AttestationError("session key derivation diverged")
+    return cpu_keys, npu_keys

@@ -1,0 +1,7 @@
+"""Tensor descriptors: the unit of protection in TensorTEE."""
+
+from repro.tensor.dtype import DType
+from repro.tensor.tensor import TensorDesc
+from repro.tensor.registry import TensorRegistry
+
+__all__ = ["DType", "TensorDesc", "TensorRegistry"]

@@ -1,0 +1,19 @@
+"""Element dtypes used by the collaborative-training workloads."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DType(enum.Enum):
+    """Tensor element type and width."""
+
+    FP16 = ("fp16", 2)
+    FP32 = ("fp32", 4)
+
+    def __init__(self, label: str, nbytes: int) -> None:
+        self.label = label
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return f"DType.{self.name}"

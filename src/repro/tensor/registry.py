@@ -1,0 +1,102 @@
+"""Tensor allocation and lookup.
+
+Each device (CPU host memory, NPU GDDR) owns a registry; the registry is the
+ground truth the accuracy accounting compares TenAnalyzer's detected
+structures against, and the place the NPU's tensor-granularity VN/MAC tables
+key off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.tensor.dtype import DType
+from repro.tensor.tensor import TensorDesc
+from repro.units import CACHELINE_BYTES, align_up, PAGE_BYTES
+
+
+class TensorRegistry:
+    """Bump allocator + id/address indexes for tensors on one device."""
+
+    def __init__(
+        self,
+        base_va: int = 0x7F00_0000_0000,
+        alignment: int = PAGE_BYTES,
+        guard_bytes: int = 0,
+    ) -> None:
+        """``guard_bytes`` inserts an unmapped gap after each tensor.
+
+        Scaled-down functional simulations use this to preserve the "tensors
+        are far apart in the address space" property of full-size models, so
+        the TenAnalyzer cannot mistake neighbouring scaled tensors for rows
+        of one tiled tensor.
+        """
+        if alignment % CACHELINE_BYTES:
+            raise ConfigError("alignment must be a multiple of the line size")
+        if guard_bytes < 0:
+            raise ConfigError("guard must be non-negative")
+        self._next_va = base_va
+        self._alignment = alignment
+        self._guard_bytes = guard_bytes
+        self._by_id: Dict[int, TensorDesc] = {}
+        self._by_name: Dict[str, TensorDesc] = {}
+        self._ranges: List[Tuple[int, int, int]] = []  # (start, end, tensor_id)
+        self._next_id = 0
+
+    def allocate(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: DType = DType.FP32,
+        role: str = "data",
+    ) -> TensorDesc:
+        """Allocate a new tensor at the next aligned address."""
+        if name in self._by_name:
+            raise ConfigError(f"tensor name {name!r} already allocated")
+        tensor = TensorDesc(
+            name=name,
+            base_va=self._next_va,
+            shape=shape,
+            dtype=dtype,
+            tensor_id=self._next_id,
+            role=role,
+        )
+        self._next_va = align_up(
+            self._next_va + tensor.nbytes + self._guard_bytes, self._alignment
+        )
+        self._by_id[tensor.tensor_id] = tensor
+        self._by_name[name] = tensor
+        self._ranges.append(
+            (tensor.base_va, tensor.base_va + tensor.n_lines * CACHELINE_BYTES, tensor.tensor_id)
+        )
+        self._next_id += 1
+        return tensor
+
+    def by_id(self, tensor_id: int) -> TensorDesc:
+        if tensor_id not in self._by_id:
+            raise ConfigError(f"unknown tensor id {tensor_id}")
+        return self._by_id[tensor_id]
+
+    def by_name(self, name: str) -> TensorDesc:
+        if name not in self._by_name:
+            raise ConfigError(f"unknown tensor {name!r}")
+        return self._by_name[name]
+
+    def find(self, vaddr: int) -> Optional[TensorDesc]:
+        """Tensor containing ``vaddr``, or None for non-tensor data."""
+        for start, end, tensor_id in self._ranges:
+            if start <= vaddr < end:
+                return self._by_id[tensor_id]
+        return None
+
+    def __iter__(self) -> Iterator[TensorDesc]:
+        return iter(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all allocated tensor payloads."""
+        return sum(t.nbytes for t in self._by_id.values())

@@ -1,0 +1,113 @@
+"""Tensor descriptors.
+
+A :class:`TensorDesc` is metadata only — base virtual address, shape, dtype —
+plus the iteration helpers the trace generators and the TEE components need:
+line streams, per-thread shards, and 2D tile walks (for GEMM workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigError
+from repro.tensor.dtype import DType
+from repro.units import CACHELINE_BYTES, lines_in
+
+
+@dataclass(frozen=True)
+class TensorDesc:
+    """An allocated tensor: contiguous row-major VA range."""
+
+    name: str
+    base_va: int
+    shape: Tuple[int, ...]
+    dtype: DType = DType.FP32
+    tensor_id: int = -1
+    role: str = "data"  # e.g. weight / grad / momentum / variance / activation
+
+    def __post_init__(self) -> None:
+        if self.base_va % CACHELINE_BYTES:
+            raise ConfigError(f"{self.name}: base VA must be line-aligned")
+        if not self.shape or any(dim <= 0 for dim in self.shape):
+            raise ConfigError(f"{self.name}: shape must be positive, got {self.shape}")
+
+    @property
+    def n_elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_elements * self.dtype.nbytes
+
+    @property
+    def n_lines(self) -> int:
+        return lines_in(self.nbytes)
+
+    @property
+    def end_va(self) -> int:
+        """One past the last byte (not line-aligned in general)."""
+        return self.base_va + self.nbytes
+
+    @property
+    def last_line_va(self) -> int:
+        """VA of the last cacheline of the tensor."""
+        return self.base_va + (self.n_lines - 1) * CACHELINE_BYTES
+
+    def contains(self, vaddr: int) -> bool:
+        """Whether a (line) address falls inside the tensor."""
+        return self.base_va <= vaddr < self.base_va + self.n_lines * CACHELINE_BYTES
+
+    # -- iteration helpers ---------------------------------------------------
+
+    def line_addresses(self) -> Iterator[int]:
+        """All line addresses of the tensor in streaming order."""
+        for i in range(self.n_lines):
+            yield self.base_va + i * CACHELINE_BYTES
+
+    def shard_lines(self, n_shards: int, shard: int) -> List[int]:
+        """Line addresses of contiguous shard ``shard`` of ``n_shards``.
+
+        Used to model data-parallel Adam: thread *t* updates shard *t*.
+        """
+        if not 0 <= shard < n_shards:
+            raise ConfigError(f"shard {shard} out of range for {n_shards}")
+        total = self.n_lines
+        base = total // n_shards
+        extra = total % n_shards
+        start = shard * base + min(shard, extra)
+        length = base + (1 if shard < extra else 0)
+        return [
+            self.base_va + i * CACHELINE_BYTES for i in range(start, start + length)
+        ]
+
+    def tile_row_lines(self, row: int, col0: int, tile_cols: int) -> List[int]:
+        """Line addresses covering one row segment of a 2D tile.
+
+        For a row-major 2D tensor, ``row`` is the absolute row index and the
+        segment spans elements ``[col0, col0 + tile_cols)``.
+        """
+        if len(self.shape) != 2:
+            raise ConfigError(f"{self.name}: tile iteration needs a 2D tensor")
+        n_cols = self.shape[1]
+        if not (0 <= row < self.shape[0] and 0 <= col0 and col0 + tile_cols <= n_cols):
+            raise ConfigError(f"{self.name}: tile segment out of bounds")
+        start = self.base_va + (row * n_cols + col0) * self.dtype.nbytes
+        end = start + tile_cols * self.dtype.nbytes
+        first = start - (start % CACHELINE_BYTES)
+        lines = []
+        addr = first
+        while addr < end:
+            lines.append(addr)
+            addr += CACHELINE_BYTES
+        return lines
+
+    @property
+    def row_stride_bytes(self) -> int:
+        """Byte stride between consecutive rows (2D tensors)."""
+        if len(self.shape) != 2:
+            raise ConfigError(f"{self.name}: row stride needs a 2D tensor")
+        return self.shape[1] * self.dtype.nbytes

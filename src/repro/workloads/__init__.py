@@ -1,0 +1,14 @@
+"""Workloads: the Table-2 LLM zoo, tensor inventories, ZeRO-Offload stages."""
+
+from repro.workloads.models import MODEL_ZOO, ModelConfig, model_by_name
+from repro.workloads.transformer import TransformerInventory
+from repro.workloads.zero_offload import IterationVolumes, ZeroOffloadSchedule
+
+__all__ = [
+    "MODEL_ZOO",
+    "ModelConfig",
+    "model_by_name",
+    "TransformerInventory",
+    "IterationVolumes",
+    "ZeroOffloadSchedule",
+]

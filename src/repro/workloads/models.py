@@ -1,0 +1,95 @@
+"""The Table-2 workload zoo.
+
+Twelve models, 117M → 6.7B parameters, with the batch sizes the paper uses
+(chosen to fit the 40 GB NPU). Architecture parameters (layers / hidden /
+heads / ffn) are the published configurations of each model; the derived
+parameter count is asserted to be within a few percent of the paper's column
+by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One row of Table 2 plus the architecture needed to derive tensors."""
+
+    name: str
+    paper_params: int  # the "# Params" column
+    batch_size: int  # the "batch_size" column
+    n_layers: int
+    hidden: int
+    n_heads: int
+    vocab: int
+    seq_len: int = 1024
+    ffn_dim: int = 0  # 0 -> 4 * hidden
+    gated_mlp: bool = False  # LLaMA-style 3-matrix SwiGLU MLP
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.n_heads:
+            raise ConfigError(f"{self.name}: hidden not divisible by heads")
+
+    @property
+    def ffn(self) -> int:
+        return self.ffn_dim if self.ffn_dim else 4 * self.hidden
+
+    @property
+    def params_per_layer(self) -> int:
+        """Weight elements per transformer layer (no biases, like the zoo)."""
+        attn = 4 * self.hidden * self.hidden  # q, k, v, o
+        if self.gated_mlp:
+            mlp = 3 * self.hidden * self.ffn  # gate, up, down
+        else:
+            mlp = 2 * self.hidden * self.ffn  # up, down
+        norms = 2 * self.hidden
+        return attn + mlp + norms
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab * self.hidden
+
+    @property
+    def n_params(self) -> int:
+        """Derived total parameter count."""
+        return (
+            self.n_layers * self.params_per_layer
+            + self.embedding_params
+            + self.hidden  # final norm
+        )
+
+    @property
+    def tokens_per_batch(self) -> int:
+        return self.batch_size * self.seq_len
+
+    def fwd_bwd_flops(self) -> float:
+        """Training FLOPs of one batch: ~6 * params * tokens."""
+        return 6.0 * self.n_params * self.tokens_per_batch
+
+
+MODEL_ZOO: tuple[ModelConfig, ...] = (
+    ModelConfig("GPT", 117_000_000, 60, n_layers=12, hidden=768, n_heads=12, vocab=50257),
+    ModelConfig("GPT2-M", 345_000_000, 22, n_layers=24, hidden=1024, n_heads=16, vocab=50257),
+    ModelConfig("Roberta-L", 355_000_000, 22, n_layers=24, hidden=1024, n_heads=16, vocab=50265, seq_len=512),
+    ModelConfig("BLOOM", 560_000_000, 21, n_layers=24, hidden=1024, n_heads=16, vocab=250880),
+    ModelConfig("GPT2-L", 774_000_000, 11, n_layers=36, hidden=1280, n_heads=20, vocab=50257),
+    ModelConfig("BLOOM-800M", 800_000_000, 17, n_layers=24, hidden=1280, n_heads=16, vocab=250880),
+    ModelConfig("OPT-1.3B", 1_300_000_000, 10, n_layers=24, hidden=2048, n_heads=32, vocab=50272),
+    ModelConfig("GPT2-XL", 1_600_000_000, 6, n_layers=48, hidden=1600, n_heads=25, vocab=50257),
+    ModelConfig("OPT-2.7B", 2_800_000_000, 6, n_layers=32, hidden=2560, n_heads=32, vocab=50272),
+    ModelConfig("XGLM-4.5B", 4_500_000_000, 3, n_layers=48, hidden=2048, n_heads=16, vocab=256008, ffn_dim=16384),
+    ModelConfig("LLAMA2-7B", 6_700_000_000, 2, n_layers=32, hidden=4096, n_heads=32, vocab=32000, ffn_dim=11008, gated_mlp=True),
+    ModelConfig("OPT-6.7B", 6_700_000_000, 2, n_layers=32, hidden=4096, n_heads=32, vocab=50272),
+)
+
+
+def model_by_name(name: str) -> ModelConfig:
+    """Look a model up by its Table-2 name (case-insensitive)."""
+    for model in MODEL_ZOO:
+        if model.name.lower() == name.lower():
+            return model
+    known = ", ".join(m.name for m in MODEL_ZOO)
+    raise ConfigError(f"unknown model {name!r}; known: {known}")

@@ -1,0 +1,250 @@
+"""Synthetic memory-access trace generators.
+
+Two workloads from the paper's CPU evaluation:
+
+- **Adam optimizer step** (Sec. 3.1 / 6.2): element-wise streaming over the
+  fused per-layer optimizer buffers (DeepSpeed's CPU-Adam flattens parameter
+  groups into per-layer fp32 buffers; we model one w32/m/v/g/w16 quintet per
+  layer). Each hardware thread updates a contiguous shard; the memory
+  controller sees the round-robin interleaving of all thread streams.
+- **Tiled GEMM** (Sec. 6.2): the 256x256 matrix multiply with 64x64 tiles
+  used to demonstrate entry merging on complex access patterns.
+
+Full-size models have millions of lines per tensor; generators take a
+``lines_per_tensor`` scale so functional simulations stay tractable while
+preserving stream structure (see DESIGN.md Sec. 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.trace import AccessKind, MemAccess
+from repro.tensor.dtype import DType
+from repro.tensor.registry import TensorRegistry
+from repro.tensor.tensor import TensorDesc
+from repro.units import CACHELINE_BYTES
+
+
+@dataclass
+class AdamGroup:
+    """The five fused buffers of one layer's optimizer step."""
+
+    layer: int
+    weight32: TensorDesc
+    momentum: TensorDesc
+    variance: TensorDesc
+    grad32: TensorDesc
+    weight16: TensorDesc
+
+    @property
+    def read_tensors(self) -> Tuple[TensorDesc, ...]:
+        return (self.weight32, self.momentum, self.variance, self.grad32)
+
+    @property
+    def rmw_tensors(self) -> Tuple[TensorDesc, ...]:
+        return (self.weight32, self.momentum, self.variance)
+
+    def all_tensors(self) -> Tuple[TensorDesc, ...]:
+        return (self.weight32, self.momentum, self.variance, self.grad32, self.weight16)
+
+
+def build_adam_groups(
+    registry: TensorRegistry,
+    n_layers: int,
+    lines_per_tensor: int,
+) -> List[AdamGroup]:
+    """Allocate fused per-layer Adam buffers scaled to ``lines_per_tensor``."""
+    if lines_per_tensor < 8:
+        raise ConfigError("need at least 8 lines per tensor for sharding")
+    elems32 = lines_per_tensor * CACHELINE_BYTES // DType.FP32.nbytes
+    elems16_lines = max(1, lines_per_tensor // 2)
+    elems16 = elems16_lines * CACHELINE_BYTES // DType.FP16.nbytes
+    groups = []
+    for layer in range(n_layers):
+        prefix = f"adam.layer{layer}"
+        groups.append(
+            AdamGroup(
+                layer=layer,
+                weight32=registry.allocate(f"{prefix}.w32", (elems32,), DType.FP32, "weight32"),
+                momentum=registry.allocate(f"{prefix}.m", (elems32,), DType.FP32, "momentum"),
+                variance=registry.allocate(f"{prefix}.v", (elems32,), DType.FP32, "variance"),
+                grad32=registry.allocate(f"{prefix}.g", (elems32,), DType.FP32, "grad32"),
+                weight16=registry.allocate(f"{prefix}.w16", (elems16,), DType.FP16, "weight16"),
+            )
+        )
+    return groups
+
+
+@dataclass
+class AdamTraceConfig:
+    """Shape of the generated Adam iteration trace."""
+
+    threads: int = 8
+    burst_lines: int = 4  # lines each role-stream advances per thread turn
+    thread_skew: float = 0.15  # probability a thread skips a turn (progress jitter)
+    #: Write-backs reach the memory controller from LLC evictions, trailing
+    #: the read stream by this many bursts (Fig. 12: "writing addresses from
+    #: cores are filtered by LLC").
+    write_lag_bursts: int = 4
+    seed: int = 1234
+
+
+def _thread_layer_stream(
+    group: AdamGroup, thread: int, threads: int, burst_lines: int, write_lag_bursts: int
+) -> List[List[MemAccess]]:
+    """Thread ``thread``'s bursts for one layer, in issue order.
+
+    Each burst advances every role stream by ``burst_lines`` lines: reads of
+    w32/m/v/g, plus the *lagged* read-modify-write write-backs of w32/m/v
+    and the fp16 weight output (half as many lines). Trailing bursts drain
+    the remaining write-backs after reads finish.
+    """
+    shards = {t.name: t.shard_lines(threads, thread) for t in group.all_tensors()}
+    w32 = shards[group.weight32.name]
+    m = shards[group.momentum.name]
+    v = shards[group.variance.name]
+    g = shards[group.grad32.name]
+    w16 = shards[group.weight16.name]
+    n = len(w32)
+    n_read_bursts = -(-n // burst_lines)
+    bursts: List[List[MemAccess]] = []
+    w16_cursor = 0
+    for burst_index in range(n_read_bursts + write_lag_bursts):
+        burst: List[MemAccess] = []
+        start = burst_index * burst_lines
+        stop = min(start + burst_lines, n)
+        if start < n:
+            for role_tensor, lines in (
+                (group.weight32, w32),
+                (group.momentum, m),
+                (group.variance, v),
+                (group.grad32, g),
+            ):
+                for i in range(start, stop):
+                    if i < len(lines):
+                        burst.append(
+                            MemAccess(lines[i], AccessKind.READ, thread, role_tensor.tensor_id)
+                        )
+        wb_index = burst_index - write_lag_bursts
+        wb_start = wb_index * burst_lines
+        wb_stop = min(wb_start + burst_lines, n)
+        if wb_index >= 0 and wb_start < n:
+            for role_tensor, lines in (
+                (group.weight32, w32),
+                (group.momentum, m),
+                (group.variance, v),
+            ):
+                for i in range(wb_start, wb_stop):
+                    if i < len(lines):
+                        burst.append(
+                            MemAccess(lines[i], AccessKind.WRITE, thread, role_tensor.tensor_id)
+                        )
+            # fp16 output advances at half the fp32 line rate.
+            w16_target = min(len(w16), (wb_stop * len(w16) + n - 1) // n)
+            while w16_cursor < w16_target:
+                burst.append(
+                    MemAccess(w16[w16_cursor], AccessKind.WRITE, thread, group.weight16.tensor_id)
+                )
+                w16_cursor += 1
+        if burst:
+            bursts.append(burst)
+    return bursts
+
+
+def adam_iteration_trace(
+    groups: Sequence[AdamGroup],
+    config: AdamTraceConfig,
+    rng: random.Random | None = None,
+) -> List[MemAccess]:
+    """One optimizer iteration as seen by the memory controller.
+
+    All threads walk the layers in order; within a layer the MC sees a
+    round-robin interleave of thread bursts with random skew.
+    """
+    rng = rng if rng is not None else random.Random(config.seed)
+    trace: List[MemAccess] = []
+    for group in groups:
+        per_thread = [
+            _thread_layer_stream(
+                group, t, config.threads, config.burst_lines, config.write_lag_bursts
+            )
+            for t in range(config.threads)
+        ]
+        cursors = [0] * config.threads
+        remaining = sum(len(b) for b in per_thread)
+        while remaining:
+            for t in range(config.threads):
+                if cursors[t] >= len(per_thread[t]):
+                    continue
+                if config.thread_skew and rng.random() < config.thread_skew:
+                    continue
+                trace.extend(per_thread[t][cursors[t]])
+                cursors[t] += 1
+                remaining -= 1
+    return trace
+
+
+# -- tiled GEMM -------------------------------------------------------------
+
+
+@dataclass
+class GemmConfig:
+    """C[M,N] += A[M,K] @ B[K,N] with (tile_m, tile_n, tile_k) tiling."""
+
+    m: int = 256
+    n: int = 256
+    k: int = 256
+    tile_m: int = 64
+    tile_n: int = 64
+    tile_k: int = 64
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        for total, tile, label in (
+            (self.m, self.tile_m, "m"),
+            (self.n, self.tile_n, "n"),
+            (self.k, self.tile_k, "k"),
+        ):
+            if total % tile:
+                raise ConfigError(f"gemm dim {label}={total} not divisible by tile {tile}")
+
+
+def build_gemm_tensors(registry: TensorRegistry, config: GemmConfig) -> Tuple[TensorDesc, TensorDesc, TensorDesc]:
+    """Allocate the A, B and C matrices."""
+    a = registry.allocate("gemm.A", (config.m, config.k), config.dtype, "input")
+    b = registry.allocate("gemm.B", (config.k, config.n), config.dtype, "input")
+    c = registry.allocate("gemm.C", (config.m, config.n), config.dtype, "output")
+    return a, b, c
+
+
+def gemm_trace(
+    a: TensorDesc,
+    b: TensorDesc,
+    c: TensorDesc,
+    config: GemmConfig,
+    thread: int = 0,
+) -> List[MemAccess]:
+    """One full tiled GEMM pass (output-stationary: C written once per tile).
+
+    Loop order: for each output tile (i, j): accumulate over k reading A and
+    B tile rows; after the k loop, read-modify-write the C tile rows.
+    """
+    trace: List[MemAccess] = []
+
+    def emit_rows(t: TensorDesc, row0: int, col0: int, rows: int, cols: int, kind: AccessKind) -> None:
+        for r in range(row0, row0 + rows):
+            for addr in t.tile_row_lines(r, col0, cols):
+                trace.append(MemAccess(addr, kind, thread, t.tensor_id))
+
+    for i0 in range(0, config.m, config.tile_m):
+        for j0 in range(0, config.n, config.tile_n):
+            for k0 in range(0, config.k, config.tile_k):
+                emit_rows(a, i0, k0, config.tile_m, config.tile_k, AccessKind.READ)
+                emit_rows(b, k0, j0, config.tile_k, config.tile_n, AccessKind.READ)
+            emit_rows(c, i0, j0, config.tile_m, config.tile_n, AccessKind.READ)
+            emit_rows(c, i0, j0, config.tile_m, config.tile_n, AccessKind.WRITE)
+    return trace

@@ -1,0 +1,35 @@
+"""Shared fixtures for the TensorTEE reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.mee import FunctionalMee
+from repro.tensor.dtype import DType
+from repro.tensor.registry import TensorRegistry
+from repro.units import KiB
+
+
+@pytest.fixture
+def registry() -> TensorRegistry:
+    """A registry with the guard gaps the scaled experiments use."""
+    return TensorRegistry(alignment=4 * KiB, guard_bytes=256 * KiB)
+
+
+@pytest.fixture
+def mee() -> FunctionalMee:
+    """A small functional MEE with a Merkle tree (CPU-style)."""
+    return FunctionalMee(b"test-aes-key-16b", b"test-mac-key-16b", protected_bytes=1 << 20)
+
+
+@pytest.fixture
+def npu_mee() -> FunctionalMee:
+    """A small functional MEE without a tree (NPU-style, on-chip VNs)."""
+    return FunctionalMee(
+        b"test-aes-key-16b", b"test-mac-key-16b", with_merkle=False, protected_bytes=1 << 20
+    )
+
+
+@pytest.fixture
+def line64() -> bytes:
+    return bytes(range(64))

@@ -1,0 +1,76 @@
+"""Core system-model plumbing: configs, results records, mode dispatch."""
+
+import pytest
+
+from repro.core.config import (
+    SystemConfig,
+    SystemMode,
+    baseline_system,
+    non_secure_system,
+    tensortee_system,
+)
+from repro.core.results import StageBreakdown
+from repro.core.system import CollaborativeSystem, compare_modes, steady_state_rates
+from repro.errors import ConfigError
+from repro.workloads.models import model_by_name
+
+
+class TestConfigs:
+    def test_factory_modes(self):
+        assert non_secure_system().mode is SystemMode.NON_SECURE
+        assert baseline_system().mode is SystemMode.SGX_MGX
+        assert tensortee_system().mode is SystemMode.TENSORTEE
+
+    def test_labels(self):
+        assert tensortee_system().label == "tensortee"
+
+
+class TestStageBreakdown:
+    def test_total_and_fractions(self):
+        b = StageBreakdown("m", "mode", 1.0, 2.0, 0.5, 0.5)
+        assert b.total_s == 4.0
+        f = b.fractions()
+        assert f["NPU"] == 0.25 and f["CPU"] == 0.5
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_speedup_over(self):
+        fast = StageBreakdown("m", "a", 1.0, 0.0, 0.0, 0.0)
+        slow = StageBreakdown("m", "b", 4.0, 0.0, 0.0, 0.0)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+
+class TestSystemDispatch:
+    def test_compare_modes_returns_all_labels(self):
+        model = model_by_name("GPT")
+        results = compare_modes(
+            model,
+            {"ns": non_secure_system(), "tt": tensortee_system()},
+        )
+        assert set(results) == {"ns", "tt"}
+        assert results["ns"].model_name == "GPT"
+
+    def test_compare_modes_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_modes(model_by_name("GPT"), {})
+
+    def test_steady_state_rates_cached_and_converged(self):
+        rates = steady_state_rates()
+        assert rates.read_hit_in > 0.95
+        assert steady_state_rates() is rates  # lru_cache
+
+    def test_npu_overhead_ordering(self):
+        """Baseline 512B MAC costs more than ours; non-secure costs nothing."""
+        model = model_by_name("GPT")
+        ns = CollaborativeSystem(non_secure_system()).iteration_breakdown(model)
+        base = CollaborativeSystem(baseline_system()).iteration_breakdown(model)
+        ours = CollaborativeSystem(tensortee_system()).iteration_breakdown(model)
+        assert base.npu_s > ns.npu_s
+        assert ours.npu_s > ns.npu_s
+        assert base.npu_s == pytest.approx(ours.npu_s, rel=0.05)
+
+    def test_baseline_comm_never_overlaps(self):
+        model = model_by_name("GPT2-M")
+        base = CollaborativeSystem(baseline_system()).iteration_breakdown(model)
+        assert base.comm_g_s == pytest.approx(base.comm_g_busy_s)
+        ours = CollaborativeSystem(tensortee_system()).iteration_breakdown(model)
+        assert ours.comm_g_s < ours.comm_g_busy_s  # hidden under compute

@@ -1,0 +1,92 @@
+"""AES-128, counter mode, MACs: correctness pinned to known vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, _SBOX
+from repro.crypto.ctr import CounterModeCipher
+from repro.crypto.mac import MacEngine, TensorMacAccumulator, xor_macs
+from repro.errors import ConfigError
+
+
+class TestAes:
+    def test_fips197_vector(self):
+        key = bytes(range(16))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert AES128(key).encrypt_block(plaintext).hex() == expected
+
+    def test_sbox_known_entries(self):
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+        assert sorted(_SBOX) == list(range(256))  # a permutation
+
+    def test_rejects_bad_key_and_block(self):
+        with pytest.raises(ConfigError):
+            AES128(b"short")
+        with pytest.raises(ConfigError):
+            AES128(bytes(16)).encrypt_block(b"short")
+
+    def test_deterministic(self):
+        aes = AES128(b"k" * 16)
+        assert aes.encrypt_block(bytes(16)) == aes.encrypt_block(bytes(16))
+
+
+class TestCounterMode:
+    @given(data=st.binary(min_size=64, max_size=64), pa=st.integers(0, 2**48), vn=st.integers(0, 2**40))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, data, pa, vn):
+        cipher = CounterModeCipher(b"0123456789abcdef")
+        assert cipher.decrypt_line(cipher.encrypt_line(data, pa, vn), pa, vn) == data
+
+    def test_wrong_vn_garbles(self, line64):
+        cipher = CounterModeCipher(b"0123456789abcdef")
+        ct = cipher.encrypt_line(line64, pa=0x1000, vn=1)
+        assert cipher.decrypt_line(ct, pa=0x1000, vn=2) != line64
+
+    def test_wrong_pa_garbles(self, line64):
+        cipher = CounterModeCipher(b"0123456789abcdef")
+        ct = cipher.encrypt_line(line64, pa=0x1000, vn=1)
+        assert cipher.decrypt_line(ct, pa=0x1040, vn=1) != line64
+
+    def test_same_key_same_counter_same_keystream(self, line64):
+        a = CounterModeCipher(b"0123456789abcdef")
+        b = CounterModeCipher(b"0123456789abcdef")
+        assert a.encrypt_line(line64, 0, 0) == b.encrypt_line(line64, 0, 0)
+
+
+class TestMac:
+    def test_mac_is_56_bits(self, line64):
+        mac = MacEngine(b"key").line_mac(line64, 0x1000, 1)
+        assert 0 <= mac < (1 << 56)
+
+    def test_mac_binds_ciphertext_pa_and_vn(self, line64):
+        engine = MacEngine(b"key")
+        base = engine.line_mac(line64, 0x1000, 1)
+        assert engine.line_mac(line64[::-1], 0x1000, 1) != base
+        assert engine.line_mac(line64, 0x1040, 1) != base
+        assert engine.line_mac(line64, 0x1000, 2) != base
+
+    @given(st.lists(st.integers(0, 2**56 - 1), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_xor_macs_order_insensitive(self, macs):
+        assert xor_macs(macs) == xor_macs(list(reversed(macs)))
+
+    @given(st.permutations(list(range(8))))
+    @settings(max_examples=25, deadline=None)
+    def test_accumulator_order_insensitive(self, order):
+        engine = MacEngine(b"key")
+        macs = [engine.line_mac(bytes([i] * 64), i * 64, 1) for i in range(8)]
+        reference = xor_macs(macs)
+        acc = TensorMacAccumulator(expected_lines=8)
+        for index in order:
+            acc.absorb(macs[index])
+        assert acc.complete
+        assert acc.matches(reference)
+
+    def test_accumulator_incomplete_never_matches(self):
+        acc = TensorMacAccumulator(expected_lines=2)
+        acc.absorb(0)
+        assert not acc.matches(0)

@@ -1,0 +1,86 @@
+"""DH key exchange and attestation."""
+
+import pytest
+
+from repro.crypto.attestation import Attestor, measure
+from repro.crypto.keys import DiffieHellman, derive_key
+from repro.errors import AttestationError, ConfigError
+from repro.tee.enclave import Enclave, TrustDomain, mutual_attestation
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self):
+        a, b = DiffieHellman(seed=11), DiffieHellman(seed=22)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_session_keys_symmetric_and_distinct(self):
+        a, b = DiffieHellman(seed=1), DiffieHellman(seed=2)
+        aes, mac = a.session_keys(b.public)
+        assert (aes, mac) == b.session_keys(a.public)
+        assert aes != mac
+
+    def test_deterministic_seeding(self):
+        assert DiffieHellman(seed=5).public == DiffieHellman(seed=5).public
+
+    def test_rejects_degenerate_peer(self):
+        with pytest.raises(ConfigError):
+            DiffieHellman(seed=1).shared_secret(1)
+
+    def test_derive_key_length_bounds(self):
+        with pytest.raises(ConfigError):
+            derive_key(b"s", "label", 0)
+        assert len(derive_key(b"s", "label", 32)) == 32
+
+
+class TestAttestation:
+    def test_measurement_depends_on_code_and_config(self):
+        assert measure(b"code") != measure(b"code2")
+        assert measure(b"code", b"cfg") != measure(b"code", b"cfg2")
+
+    def test_report_verifies(self):
+        attestor = Attestor(b"device-key")
+        m = measure(b"enclave code")
+        report = attestor.report("e1", m)
+        attestor.verify(report, m)
+
+    def test_forged_signature_rejected(self):
+        attestor = Attestor(b"device-key")
+        m = measure(b"enclave code")
+        report = attestor.report("e1", m)
+        forged = type(report)(report.enclave_name, report.measurement, report.signature ^ 1)
+        with pytest.raises(AttestationError):
+            attestor.verify(forged, m)
+
+    def test_wrong_measurement_rejected(self):
+        attestor = Attestor(b"device-key")
+        report = attestor.report("e1", measure(b"tampered code"))
+        with pytest.raises(AttestationError):
+            attestor.verify(report, measure(b"expected code"))
+
+
+class TestEnclaveLifecycle:
+    def test_mutual_attestation_yields_shared_keys(self):
+        domain = TrustDomain()
+        cpu = Enclave("cpu", b"cpu code")
+        npu = Enclave("npu", b"npu code")
+        cpu.create(dh_seed=1)
+        npu.create(dh_seed=2)
+        cpu_keys, npu_keys = mutual_attestation(cpu, npu, domain)
+        assert cpu_keys == npu_keys
+
+    def test_double_create_rejected(self):
+        e = Enclave("x", b"code")
+        e.create(dh_seed=1)
+        from repro.errors import EnclaveError
+
+        with pytest.raises(EnclaveError):
+            e.create(dh_seed=1)
+
+    def test_destroy_erases_keys(self):
+        e = Enclave("x", b"code")
+        e.create(dh_seed=1)
+        e.destroy()
+        from repro.errors import EnclaveError
+
+        with pytest.raises(EnclaveError):
+            _ = e.dh_public

@@ -1,0 +1,82 @@
+"""Bonsai Merkle tree: integrity of off-chip VN storage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import BonsaiMerkleTree
+from repro.errors import ConfigError, IntegrityError
+
+
+def test_update_then_verify():
+    tree = BonsaiMerkleTree(100)
+    tree.update_leaf(42, b"payload")
+    assert tree.verify_leaf(42, b"payload") >= 1
+
+
+def test_tampered_leaf_detected():
+    tree = BonsaiMerkleTree(64)
+    tree.update_leaf(3, b"good")
+    tree.tamper_leaf(3, b"evil")
+    with pytest.raises(IntegrityError):
+        tree.verify_leaf(3, b"evil")
+
+
+def test_wrong_payload_rejected():
+    tree = BonsaiMerkleTree(64)
+    tree.update_leaf(3, b"good")
+    with pytest.raises(IntegrityError):
+        tree.verify_leaf(3, b"forged")
+
+
+def test_tampered_interior_node_detected():
+    tree = BonsaiMerkleTree(512)
+    tree.update_leaf(100, b"data")
+    tree.tamper_node(1, 100 // 8, b"\x00" * 8)
+    with pytest.raises(IntegrityError):
+        tree.verify_leaf(100, b"data")
+
+
+def test_root_changes_on_update():
+    tree = BonsaiMerkleTree(64)
+    before = tree.root
+    tree.update_leaf(0, b"x")
+    assert tree.root != before
+
+
+def test_update_path_length_matches_depth():
+    tree = BonsaiMerkleTree(8**3)  # exactly 3 levels above leaves
+    assert tree.update_leaf(0, b"x") == tree.levels - 1
+
+
+def test_single_leaf_tree():
+    tree = BonsaiMerkleTree(1)
+    tree.update_leaf(0, b"only")
+    tree.verify_leaf(0, b"only")
+    tree.tamper_leaf(0, b"bad!")
+    with pytest.raises(IntegrityError):
+        tree.verify_leaf(0, b"bad!")
+
+
+def test_out_of_range_leaf_rejected():
+    tree = BonsaiMerkleTree(10)
+    with pytest.raises(ConfigError):
+        tree.update_leaf(10, b"x")
+
+
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(0, 63), st.binary(min_size=1, max_size=16)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_property_last_write_wins_and_verifies(updates):
+    tree = BonsaiMerkleTree(64)
+    final = {}
+    for index, payload in updates:
+        tree.update_leaf(index, payload)
+        final[index] = payload
+    for index, payload in final.items():
+        tree.verify_leaf(index, payload)

@@ -1,0 +1,143 @@
+"""Delayed verification, poison tracing, barrier, code integrity (Sec. 4.3)."""
+
+import pytest
+
+from repro.errors import CodeIntegrityError, IntegrityError, PoisonedTensorError
+from repro.mem.mee import FunctionalMee
+from repro.npu.config import NpuConfig
+from repro.npu.delayed import DelayedVerificationEngine
+from repro.npu.vn import TensorVnTable
+from repro.tensor.dtype import DType
+from repro.tensor.registry import TensorRegistry
+
+
+@pytest.fixture
+def engine():
+    registry = TensorRegistry(base_va=0x4200_0000_0000)
+    mee = FunctionalMee(b"A" * 16, b"B" * 16, with_merkle=False, protected_bytes=1 << 22)
+    eng = DelayedVerificationEngine(NpuConfig(), mee, TensorVnTable(registry))
+    eng.registry = registry  # convenience for tests
+    return eng
+
+
+def alloc(engine, name, elems=64):
+    return engine.registry.allocate(name, (elems,), DType.FP32)
+
+
+def payload(tensor):
+    return bytes(i % 256 for i in range(tensor.nbytes))
+
+
+class TestDelayedReads:
+    def test_write_then_delayed_read_roundtrip(self, engine):
+        t = alloc(engine, "t")
+        engine.write_tensor(t, payload(t))
+        assert engine.read_tensor_delayed(t) == payload(t)
+
+    def test_read_marks_poison_until_verified(self, engine):
+        t = alloc(engine, "t")
+        engine.write_tensor(t, payload(t))
+        engine.read_tensor_delayed(t)
+        assert engine.mac_table.is_poisoned(t.tensor_id)
+        assert engine.poll_verification() == []
+        assert not engine.mac_table.is_poisoned(t.tensor_id)
+
+    def test_tampered_tensor_fails_late_verification(self, engine):
+        t = alloc(engine, "t")
+        engine.write_tensor(t, payload(t))
+        engine.mee.tamper_ciphertext(t.base_va, flip_bit=17)
+        garbage = engine.read_tensor_delayed(t)  # no stall, garbage data
+        assert garbage != payload(t)
+        assert engine.poll_verification() == [t.tensor_id]
+
+    def test_unverified_cap_forces_poll(self, engine):
+        engine.config = NpuConfig(max_unverified_tensors=2)
+        tensors = [alloc(engine, f"t{i}", 16) for i in range(4)]
+        for t in tensors:
+            engine.write_tensor(t, payload(t))
+        for t in tensors:
+            engine.read_tensor_delayed(t)
+        assert engine.pending_count <= 3
+
+
+class TestPoisonPropagation:
+    def test_poison_flows_to_outputs(self, engine):
+        a, out = alloc(engine, "a"), alloc(engine, "out")
+        engine.write_tensor(a, payload(a))
+        engine.read_tensor_delayed(a)
+        assert engine.propagate_poison([a], [out])
+        assert engine.mac_table.is_poisoned(out.tensor_id)
+
+    def test_clean_verification_clears_lineage(self, engine):
+        a, out = alloc(engine, "a"), alloc(engine, "out")
+        engine.write_tensor(a, payload(a))
+        engine.read_tensor_delayed(a)
+        engine.propagate_poison([a], [out])
+        engine.poll_verification()
+        assert not engine.mac_table.is_poisoned(out.tensor_id)
+
+    def test_failed_ancestor_poisons_descendants_forever(self, engine):
+        a, out, grandchild = alloc(engine, "a"), alloc(engine, "out"), alloc(engine, "gc")
+        engine.write_tensor(a, payload(a))
+        engine.mee.tamper_ciphertext(a.base_va, flip_bit=3)
+        engine.read_tensor_delayed(a)
+        engine.propagate_poison([a], [out])
+        engine.poll_verification()
+        assert engine.mac_table.is_poisoned(out.tensor_id)
+        engine.propagate_poison([out], [grandchild])
+        assert engine.mac_table.is_poisoned(grandchild.tensor_id)
+
+    def test_verified_inputs_do_not_poison(self, engine):
+        a, out = alloc(engine, "a"), alloc(engine, "out")
+        engine.write_tensor(a, payload(a))
+        engine.read_tensor_delayed(a)
+        engine.poll_verification()
+        assert not engine.propagate_poison([a], [out])
+
+
+class TestVerificationBarrier:
+    def test_clean_barrier_passes(self, engine):
+        t = alloc(engine, "t")
+        engine.write_tensor(t, payload(t))
+        engine.read_tensor_delayed(t)
+        engine.verification_barrier([t])  # must not raise
+
+    def test_barrier_blocks_tampered_tensor(self, engine):
+        t = alloc(engine, "t")
+        engine.write_tensor(t, payload(t))
+        engine.mee.tamper_ciphertext(t.base_va, flip_bit=1)
+        engine.read_tensor_delayed(t)
+        with pytest.raises(IntegrityError):
+            engine.verification_barrier([t])
+
+    def test_barrier_blocks_poisoned_descendants(self, engine):
+        a, out = alloc(engine, "a"), alloc(engine, "out")
+        engine.write_tensor(a, payload(a))
+        engine.mee.tamper_ciphertext(a.base_va, flip_bit=1)
+        engine.read_tensor_delayed(a)
+        engine.propagate_poison([a], [out])
+        with pytest.raises((IntegrityError, PoisonedTensorError)):
+            engine.verification_barrier([out])
+
+
+class TestCodeIntegrity:
+    def test_clean_code_fetch(self, engine):
+        code = alloc(engine, "code", 16)
+        engine.write_tensor(code, payload(code))
+        assert engine.read_code_line(code.base_va) == payload(code)[:64]
+
+    def test_code_tamper_detected_immediately(self, engine):
+        code = alloc(engine, "code", 16)
+        engine.write_tensor(code, payload(code))
+        engine.mee.tamper_ciphertext(code.base_va, flip_bit=2)
+        with pytest.raises(CodeIntegrityError):
+            engine.read_code_line(code.base_va)
+
+    def test_code_replay_detected(self, engine):
+        code = alloc(engine, "code", 16)
+        engine.write_tensor(code, payload(code))
+        old_ct, old_mac = engine.mee.snoop(code.base_va)
+        engine.write_tensor(code, bytes(code.nbytes))
+        engine.mee.replay_line(code.base_va, old_ct, old_mac)
+        with pytest.raises(CodeIntegrityError):
+            engine.read_code_line(code.base_va)

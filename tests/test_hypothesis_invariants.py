@@ -1,0 +1,82 @@
+"""Cross-cutting property tests on the core security invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.tenanalyzer import TenAnalyzer
+from repro.cpu.tenanalyzer.entry import EntryGeometry, try_merge_geometries
+from repro.mem.mee import FunctionalMee
+from repro.sim.trace import AccessKind, MemAccess
+from repro.tensor.registry import TensorRegistry
+from repro.units import KiB
+from repro.workloads.traces import GemmConfig, build_gemm_tensors, gemm_trace
+
+LINE = 64
+
+
+@given(
+    tile=st.sampled_from([16, 32]),
+    passes=st.integers(1, 2),
+)
+@settings(max_examples=6, deadline=None)
+def test_gemm_vn_consistency_any_tiling(tile, passes):
+    """The VN invariant holds for any tile size and pass count."""
+    registry = TensorRegistry(alignment=4 * KiB, guard_bytes=256 * KiB)
+    config = GemmConfig(m=64, n=64, k=64, tile_m=tile, tile_n=tile, tile_k=tile)
+    a, b, c = build_gemm_tensors(registry, config)
+    analyzer = TenAnalyzer()
+    truth = {}
+    for _ in range(passes):
+        for access in gemm_trace(a, b, c, config):
+            if access.kind is AccessKind.READ:
+                result = analyzer.on_read(access)
+                assert result.vn == truth.get(access.vaddr, 0)
+            else:
+                outcome = analyzer.on_write(access)
+                truth[access.vaddr] = truth.get(access.vaddr, 0) + 1
+                assert outcome.vn == truth[access.vaddr]
+
+
+@given(
+    base_a=st.integers(0, 32),
+    run_a=st.integers(1, 8),
+    base_b=st.integers(0, 64),
+    run_b=st.integers(1, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_merge_never_fabricates_coverage(base_a, run_a, base_b, run_b):
+    """Whatever merges, the result covers exactly the union of the inputs."""
+    a = EntryGeometry(base_a * LINE, run_a, run_a, 1)
+    b = EntryGeometry(base_b * LINE, run_b, run_b, 1)
+    cover_a, cover_b = set(a.covered_lines()), set(b.covered_lines())
+    merged = try_merge_geometries(a, b)
+    if merged is None:
+        return
+    assert set(merged.covered_lines()) == cover_a | cover_b
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 15), st.booleans(), st.binary(min_size=64, max_size=64)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=15, deadline=None)
+def test_mee_analyzer_composition_confidential_and_fresh(ops):
+    """Random read/write traffic through TenAnalyzer + MEE stays consistent:
+    every read decrypts to the last value written to that line."""
+    analyzer = TenAnalyzer(capacity=8)
+    mee = FunctionalMee(b"P" * 16, b"Q" * 16, with_merkle=False, protected_bytes=1 << 18)
+    contents = {}
+    for line, is_write, data in ops:
+        va = 0x40000 + line * LINE
+        if is_write or va not in contents:
+            outcome = analyzer.on_write(MemAccess(va, AccessKind.WRITE))
+            mee.write_line(va, data, vn=outcome.vn)
+            contents[va] = data
+        else:
+            result = analyzer.on_read(MemAccess(va, AccessKind.READ))
+            assert mee.read_line(va, vn=result.vn) == contents[va]

@@ -1,0 +1,147 @@
+"""Memory substrate: backing store, caches, DRAM timing, page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.backing import SimulatedDram
+from repro.mem.cache import SetAssocCache
+from repro.mem.dram import ddr4_2400_2ch, gddr5_npu
+from repro.mem.layout import PageTable, line_index, line_of, page_of
+from repro.mem.metadata_cache import MetadataCache, MetadataKind
+from repro.units import KiB, PAGE_BYTES
+
+
+class TestLayout:
+    def test_line_and_page_alignment(self):
+        assert line_of(130) == 128
+        assert line_index(130) == 2
+        assert page_of(4097) == 4096
+
+    def test_page_table_deterministic(self):
+        a, b = PageTable(seed=7), PageTable(seed=7)
+        addrs = [0, 4096, 8192, 123456]
+        assert [a.translate(x) for x in addrs] == [b.translate(x) for x in addrs]
+
+    def test_page_table_shuffles_frames(self):
+        pt = PageTable(seed=1)
+        # Contiguous virtual pages map to discontiguous physical pages
+        # (Fig. 9a): at least one adjacent pair must not be adjacent.
+        pas = [pt.translate(i * PAGE_BYTES) for i in range(16)]
+        deltas = {pas[i + 1] - pas[i] for i in range(15)}
+        assert deltas != {PAGE_BYTES}
+
+    def test_offset_within_page_preserved(self):
+        pt = PageTable()
+        assert pt.translate(4096 + 321) - pt.translate(4096) == 321
+
+
+class TestSimulatedDram:
+    def test_read_default_zero(self):
+        dram = SimulatedDram()
+        assert dram.read_line(0) == bytes(64)
+
+    def test_write_read_roundtrip(self, line64):
+        dram = SimulatedDram()
+        dram.write_line(64, line64)
+        assert dram.read_line(64) == line64
+
+    def test_alignment_enforced(self):
+        dram = SimulatedDram()
+        with pytest.raises(ConfigError):
+            dram.read_line(1)
+
+    def test_flip_bit(self, line64):
+        dram = SimulatedDram()
+        dram.write_line(0, line64)
+        dram.flip_bit(0, 9)
+        corrupted = dram.read_line(0)
+        assert corrupted[1] == line64[1] ^ 0x02
+
+
+class TestSetAssocCache:
+    def test_hit_after_fill(self):
+        cache = SetAssocCache(capacity_bytes=1024, ways=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_lru_eviction(self):
+        cache = SetAssocCache(capacity_bytes=2 * 64, ways=2)  # one set, 2 ways
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)  # evicts line 0
+        assert cache.access(0) is False
+
+    def test_lru_touch_protects(self):
+        cache = SetAssocCache(capacity_bytes=2 * 64, ways=2)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)  # touch 0 -> 64 becomes LRU
+        cache.access(128)
+        assert cache.access(0) is True
+
+    def test_dirty_writeback_counted(self):
+        cache = SetAssocCache(capacity_bytes=2 * 64, ways=2)
+        cache.access(0, write=True)
+        cache.access(64)
+        cache.access(128)  # evicts dirty line 0
+        assert cache.stats["writebacks"] == 1
+
+    def test_flush_reports_dirty(self):
+        cache = SetAssocCache(capacity_bytes=1024, ways=4)
+        cache.access(0, write=True)
+        cache.access(64)
+        assert cache.flush() == 1
+
+    def test_invalidate(self):
+        cache = SetAssocCache(capacity_bytes=1024, ways=4)
+        cache.access(0)
+        assert cache.invalidate(0) is True
+        assert cache.access(0) is False
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_capacity_respected(self, lines):
+        cache = SetAssocCache(capacity_bytes=8 * 64, ways=2)
+        for line in lines:
+            cache.access(line * 64)
+        resident = sum(len(s) for s in cache._sets.values())
+        assert resident <= 8
+
+
+class TestMetadataCache:
+    def test_kinds_do_not_alias(self):
+        mc = MetadataCache(capacity_bytes=32 * KiB)
+        mc.access(MetadataKind.VN, 0)
+        assert mc.contains(MetadataKind.VN, 0)
+        assert not mc.contains(MetadataKind.MAC, 0)
+
+    def test_tree_levels_do_not_alias(self):
+        mc = MetadataCache(capacity_bytes=32 * KiB)
+        mc.access(MetadataKind.TREE, 0, level=1)
+        assert not mc.contains(MetadataKind.TREE, 0, level=2)
+
+    def test_covered_level_finds_cached_ancestor(self):
+        mc = MetadataCache(capacity_bytes=32 * KiB)
+        assert mc.covered_level(64, levels=4) == 4  # nothing cached -> root
+        mc.access(MetadataKind.TREE, 64 // 8, level=1)
+        assert mc.covered_level(64, levels=4) == 1
+
+
+class TestDramTiming:
+    def test_table1_bandwidths(self):
+        assert ddr4_2400_2ch().peak_bw == pytest.approx(38.4e9)
+        assert gddr5_npu().peak_bw == pytest.approx(128e9)
+
+    def test_stream_time_linear(self):
+        dram = ddr4_2400_2ch()
+        assert dram.stream_time(2e9) == pytest.approx(2 * dram.stream_time(1e9))
+
+    def test_metadata_costs_more(self):
+        dram = ddr4_2400_2ch()
+        assert dram.effective_bytes(1000, 100) > 1100 - 1e-9
+
+    def test_dependent_chain_latency(self):
+        dram = ddr4_2400_2ch()
+        assert dram.line_latency(2) == pytest.approx(3 * dram.idle_latency_s)

@@ -1,0 +1,131 @@
+"""NPU models: systolic timing, VN table, MAC schemes, kernels."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.npu.config import NpuConfig
+from repro.npu.kernels import iteration_io_bytes, iteration_kernels, iteration_time_s
+from repro.npu.mac import MacScheme, OnChipTensorMacTable, fig20_schemes
+from repro.npu.systolic import GemmShape, elementwise_time, gemm_time
+from repro.npu.vn import TensorVnTable
+from repro.tensor.registry import TensorRegistry
+from repro.workloads.models import MODEL_ZOO, model_by_name
+
+
+@pytest.fixture(scope="module")
+def config():
+    return NpuConfig()
+
+
+class TestSystolic:
+    def test_peak_flops_table1(self, config):
+        assert config.peak_flops == pytest.approx(2 * 512 * 512 * 1e9)
+
+    def test_big_gemm_near_sustained(self, config):
+        shape = GemmShape(8192, 8192, 8192)
+        t = gemm_time(config, shape)
+        achieved = shape.flops / t.compute_s
+        assert achieved == pytest.approx(config.sustained_flops, rel=0.15)
+
+    def test_small_k_underutilizes(self, config):
+        small = gemm_time(config, GemmShape(8192, 8192, 64))
+        eff = GemmShape(8192, 8192, 64).flops / small.compute_s
+        assert eff < 0.8 * config.sustained_flops
+
+    def test_io_bound_detection(self, config):
+        # A skinny GEMM moves lots of bytes per FLOP -> IO bound.
+        t = gemm_time(config, GemmShape(128, 128, 8192))
+        assert t.io_bound
+
+    def test_elementwise_memory_bound(self, config):
+        t = elementwise_time(config, 10_000_000)
+        assert t.io_bound
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            GemmShape(0, 1, 1)
+
+
+class TestKernels:
+    def test_iteration_time_positive_all_models(self, config):
+        for model in MODEL_ZOO[:4]:
+            assert iteration_time_s(config, model) > 0
+
+    def test_throughput_in_accelerator_range(self, config):
+        """Effective training throughput should be in a plausible A100-ish
+        band (tens to ~300 TFLOPS depending on model shape)."""
+        for model in (model_by_name("GPT2-M"), model_by_name("OPT-6.7B")):
+            t = iteration_time_s(config, model)
+            eff = model.fwd_bwd_flops() / t / 1e12
+            assert 20 < eff < 400
+
+    def test_kernel_list_covers_layers(self, config):
+        model = model_by_name("GPT")
+        names = {r.name for r in iteration_kernels(config, model)}
+        assert any("l0.attn.qkv.fwd" in n for n in names)
+        assert any(f"l{model.n_layers - 1}" in n for n in names)
+        assert any("unembed" in n for n in names)
+
+    def test_io_bytes_positive(self, config):
+        assert iteration_io_bytes(config, model_by_name("GPT")) > 0
+
+
+class TestMacSchemes:
+    def test_storage_decreases_with_granularity(self, config):
+        overheads = [MacScheme(f"{g}", g).storage_overhead() for g in (64, 512, 4096)]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_fig20_anchor_points(self, config):
+        schemes = {s.name: s for s in fig20_schemes()}
+        assert schemes["64B"].storage_overhead() == pytest.approx(0.109, abs=0.01)
+        assert schemes["64B"].performance_overhead(config) == pytest.approx(0.12, abs=0.02)
+        assert schemes["4096B"].performance_overhead(config) == pytest.approx(0.13, abs=0.02)
+        ours = schemes["tensor(ours)"]
+        assert ours.storage_overhead() == 0.0
+        assert ours.performance_overhead(config) == pytest.approx(0.025, abs=0.001)
+
+    def test_u_shape_dip_in_middle(self, config):
+        perf = {g: MacScheme(f"{g}", g).performance_overhead(config) for g in (64, 512, 4096)}
+        assert perf[512] < perf[64]
+        assert perf[512] < perf[4096]
+
+    def test_granule_must_be_line_multiple(self):
+        with pytest.raises(ConfigError):
+            MacScheme("bad", 96)
+
+
+class TestOnChipTables:
+    def test_vn_bumps_per_tensor(self):
+        registry = TensorRegistry()
+        table = TensorVnTable(registry)
+        t = registry.allocate("t", (64,))
+        assert table.vn_of(t) == 0
+        assert table.begin_write(t) == 1
+        assert table.vn_for_line(t.base_va + 64) == 1
+
+    def test_unmapped_address_rejected(self):
+        registry = TensorRegistry()
+        table = TensorVnTable(registry)
+        with pytest.raises(ConfigError):
+            table.vn_for_line(0x123000)
+
+    def test_mac_table_fold_is_xor(self):
+        table = OnChipTensorMacTable()
+        table.set_mac(1, 0b1010)
+        table.fold(1, 0b0110)
+        assert table.mac_of(1) == 0b1100
+
+    def test_mac_table_capacity_enforced(self):
+        table = OnChipTensorMacTable(capacity=2)
+        table.set_mac(1, 1)
+        table.set_mac(2, 2)
+        with pytest.raises(ConfigError):
+            table.set_mac(3, 3)
+
+    def test_poison_bits(self):
+        table = OnChipTensorMacTable()
+        table.set_poison(5)
+        assert table.is_poisoned(5)
+        assert table.poisoned_count == 1
+        table.set_poison(5, False)
+        assert not table.is_poisoned(5)

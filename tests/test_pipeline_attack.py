@@ -1,0 +1,96 @@
+"""Fig.-13 pipeline simulation and the adversary harness."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.npu.config import NpuConfig
+from repro.npu.mac import MacScheme
+from repro.npu.pipeline import (
+    compare_pipelines,
+    simulate_delayed_pipeline,
+    simulate_granule_pipeline,
+)
+from repro.tee.attack import Adversary
+from repro.tee.device import CpuSecureDevice
+from repro.tensor.dtype import DType
+from repro.units import KiB
+
+
+@pytest.fixture(scope="module")
+def config():
+    return NpuConfig()
+
+
+class TestPipelineSimulation:
+    def test_delayed_dominates_all_granule_schemes(self, config):
+        results = compare_pipelines(config)
+        delayed = results[-1]
+        assert delayed.scheme == "tensor-delayed"
+        for granule_result in results[:-1]:
+            assert delayed.overhead < granule_result.overhead
+            assert delayed.stall_s < granule_result.stall_s
+
+    def test_delayed_overhead_negligible(self, config):
+        compute = 0.9 * 64 / config.dram.effective_stream_bw
+        delayed = simulate_delayed_pipeline(config, 1 << 20, compute)
+        assert delayed.overhead < 0.02
+
+    def test_fine_granularity_pays_traffic(self, config):
+        compute = 0.9 * 64 / config.dram.effective_stream_bw
+        fine = simulate_granule_pipeline(config, 1 << 20, 64, compute)
+        # ~7B MAC per 64B line = ~10.9% extra stream time; agrees with the
+        # closed-form model's traffic term within 2pp.
+        assert fine.overhead == pytest.approx(7 / 64, abs=0.02)
+        model = MacScheme("64", 64).traffic_overhead()
+        assert fine.overhead == pytest.approx(model, abs=0.02)
+
+    def test_verification_tail_grows_with_granule(self, config):
+        """For an elastic consumer, later verification exposes a tail that
+        grows with the granule (the rigid-systolic resync cost on top of
+        this is modelled in MacScheme.stall_overhead)."""
+        compute = 0.9 * 64 / config.dram.effective_stream_bw
+        mid = simulate_granule_pipeline(config, 1 << 18, 512, compute)
+        coarse = simulate_granule_pipeline(config, 1 << 18, 16384, compute)
+        assert coarse.total_s >= mid.total_s
+
+
+class TestAdversary:
+    @pytest.fixture
+    def target(self):
+        cpu = CpuSecureDevice(b"k" * 16, b"m" * 16)
+        tensor = cpu.allocate("secret", (64,), DType.FP32)
+        cpu.write_tensor(tensor, bytes(range(256)))
+        return cpu, tensor, Adversary(cpu.mee)
+
+    def test_snoop_sees_only_ciphertext(self, target):
+        cpu, tensor, adversary = target
+        observed = adversary.snoop_tensor(tensor)
+        assert b"".join(observed) != bytes(range(256))
+
+    def test_bit_flip_detected(self, target):
+        cpu, tensor, adversary = target
+        adversary.flip_bit(tensor.base_va, bit=5)
+        with pytest.raises(SecurityError):
+            cpu.read_tensor(tensor)
+
+    def test_mac_corruption_detected(self, target):
+        cpu, tensor, adversary = target
+        adversary.corrupt_mac(tensor.base_va)
+        with pytest.raises(SecurityError):
+            cpu.read_tensor(tensor)
+
+    def test_replay_with_vn_rollback_detected(self, target):
+        cpu, tensor, adversary = target
+        adversary.snapshot(tensor.base_va)
+        cpu.write_tensor(tensor, bytes(256))
+        adversary.replay(tensor.base_va, rollback_vn=True)
+        with pytest.raises(SecurityError):
+            cpu.read_tensor(tensor)
+
+    def test_splice_detected(self, target):
+        cpu, tensor, adversary = target
+        other = cpu.allocate("other", (64,), DType.FP32)
+        cpu.write_tensor(other, bytes(256))
+        adversary.splice(tensor.base_va, other.base_va)
+        with pytest.raises(SecurityError):
+            cpu.read_tensor(other)

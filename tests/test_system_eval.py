@@ -1,0 +1,117 @@
+"""End-to-end system model and evaluation harness shapes.
+
+These assert the *paper-shape* properties: who wins, by roughly what
+factor, and where the crossovers fall (see EXPERIMENTS.md for the
+paper-vs-measured numbers).
+"""
+
+import pytest
+
+from repro.core.config import (
+    SystemMode,
+    baseline_system,
+    non_secure_system,
+    tensortee_system,
+)
+from repro.core.hw_cost import HardwareBudget
+from repro.core.system import CollaborativeSystem
+from repro.eval import fig20_mac_granularity
+from repro.eval.tables import ascii_table
+from repro.workloads.models import MODEL_ZOO, model_by_name
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    systems = {
+        "ns": CollaborativeSystem(non_secure_system()),
+        "base": CollaborativeSystem(baseline_system()),
+        "ours": CollaborativeSystem(tensortee_system()),
+    }
+    return {
+        m.name: {k: s.iteration_breakdown(m) for k, s in systems.items()}
+        for m in MODEL_ZOO
+    }
+
+
+class TestFig16Shape:
+    def test_tensortee_always_beats_baseline(self, breakdowns):
+        for by_mode in breakdowns.values():
+            assert by_mode["ours"].total_s < by_mode["base"].total_s
+
+    def test_speedup_band_matches_paper(self, breakdowns):
+        speedups = [
+            b["base"].total_s / b["ours"].total_s for b in breakdowns.values()
+        ]
+        mean = sum(speedups) / len(speedups)
+        assert 3.0 < mean < 5.0  # paper: 4.0x
+        assert max(speedups) < 7.0  # paper: 5.5x
+        assert min(speedups) > 1.5  # paper: 2.1x
+
+    def test_speedup_grows_with_model_size(self, breakdowns):
+        small = breakdowns["GPT"]["base"].total_s / breakdowns["GPT"]["ours"].total_s
+        large = (
+            breakdowns["OPT-6.7B"]["base"].total_s
+            / breakdowns["OPT-6.7B"]["ours"].total_s
+        )
+        assert large > 1.8 * small
+
+    def test_overhead_vs_non_secure_small(self, breakdowns):
+        for by_mode in breakdowns.values():
+            overhead = by_mode["ours"].total_s / by_mode["ns"].total_s - 1
+            assert 0.0 <= overhead < 0.05  # paper: 2.1% average
+
+
+class TestFig5Fig17Shape:
+    def test_baseline_comm_balloons(self, breakdowns):
+        gpt2m = breakdowns["GPT2-M"]
+        ns_comm = gpt2m["ns"].fractions()
+        base_comm = gpt2m["base"].fractions()
+        ns_total = ns_comm["Comm W"] + ns_comm["Comm G"]
+        base_total = base_comm["Comm W"] + base_comm["Comm G"]
+        assert base_total > 0.25  # paper: 53%
+        assert base_total > 5 * ns_total  # paper: 12% -> 53%
+
+    def test_tensortee_restores_non_secure_profile(self, breakdowns):
+        for by_mode in breakdowns.values():
+            ours = by_mode["ours"].fractions()
+            assert ours["Comm W"] + ours["Comm G"] < 0.25
+
+    def test_stage_fractions_sum_to_one(self, breakdowns):
+        for by_mode in breakdowns.values():
+            for breakdown in by_mode.values():
+                assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+
+class TestFig20Shape:
+    def test_result_matches_scheme_model(self):
+        result = fig20_mac_granularity.run()
+        ours = result.row("tensor(ours)")
+        assert ours.perf_overhead == pytest.approx(0.025, abs=0.001)
+        assert ours.storage_overhead == 0.0
+        coarse = result.row("4096B")
+        assert coarse.perf_overhead > 0.10
+
+
+class TestHardwareBudget:
+    def test_paper_totals(self):
+        budget = HardwareBudget()
+        assert budget.total_kib == pytest.approx(24.0, abs=0.6)
+        assert budget.area_mm2 == pytest.approx(0.0072, abs=0.0004)
+
+    def test_meta_table_entry_bits(self):
+        assert HardwareBudget().meta_table.entry_bits == 280
+
+
+class TestRendering:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bb"], [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_fig16_render_contains_models(self):
+        from repro.eval import fig16_overall
+
+        result = fig16_overall.run(models=MODEL_ZOO[:2])
+        text = fig16_overall.render(result)
+        assert "GPT" in text and "speedup" in text

@@ -1,0 +1,207 @@
+"""TenAnalyzer dataflows: filter, table, read/write paths, invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.tenanalyzer import TenAnalyzer
+from repro.cpu.tenanalyzer.analyzer import ReadKind, WriteKind
+from repro.cpu.tenanalyzer.tensor_filter import TensorFilter
+from repro.sim.trace import AccessKind, MemAccess
+from repro.tensor.registry import TensorRegistry
+from repro.units import KiB
+from repro.workloads.traces import AdamTraceConfig, adam_iteration_trace, build_adam_groups
+
+LINE = 64
+BASE = 0x10000
+
+
+def read(analyzer, va):
+    return analyzer.on_read(MemAccess(va, AccessKind.READ))
+
+
+def write(analyzer, va):
+    return analyzer.on_write(MemAccess(va, AccessKind.WRITE))
+
+
+class TestTensorFilter:
+    def test_detects_after_four_consecutive_lines(self):
+        f = TensorFilter()
+        assert f.observe(BASE, 0) is None
+        assert f.observe(BASE + LINE, 0) is None
+        assert f.observe(BASE + 2 * LINE, 0) is None
+        geometry = f.observe(BASE + 3 * LINE, 0)
+        assert geometry is not None
+        assert geometry.base_va == BASE and geometry.n_lines == 4
+
+    def test_vn_change_restarts_stream(self):
+        f = TensorFilter()
+        f.observe(BASE, 0)
+        f.observe(BASE + LINE, 0)
+        assert f.observe(BASE + 2 * LINE, 1) is None  # VN broke the condition
+        assert f.stats["vn_restarts"] == 1
+
+    def test_lru_eviction_under_pressure(self):
+        f = TensorFilter(n_entries=2)
+        f.observe(0x0, 0)
+        f.observe(0x100000, 0)
+        f.observe(0x200000, 0)  # evicts the oldest stream
+        assert f.occupancy == 2
+        assert f.stats["evictions"] == 1
+
+    def test_interleaved_streams_detected_independently(self):
+        f = TensorFilter()
+        a, b = 0x0, 0x100000
+        for i in range(3):
+            assert f.observe(a + i * LINE, 0) is None
+            assert f.observe(b + i * LINE, 0) is None
+        assert f.observe(a + 3 * LINE, 0) is not None
+        assert f.observe(b + 3 * LINE, 0) is not None
+
+
+class TestReadDataflow:
+    def test_detection_then_boundary_then_hit_in(self):
+        analyzer = TenAnalyzer()
+        # First pass: 4 misses (filter) then boundary extensions.
+        kinds = [read(analyzer, BASE + i * LINE).kind for i in range(8)]
+        assert kinds[:4] == [ReadKind.MISS] * 4
+        assert kinds[4:] == [ReadKind.HIT_BOUNDARY] * 4
+        # Second pass: all hit-in.
+        kinds = [read(analyzer, BASE + i * LINE).kind for i in range(8)]
+        assert kinds == [ReadKind.HIT_IN] * 8
+
+    def test_hit_in_needs_no_offchip_fetch(self):
+        analyzer = TenAnalyzer()
+        for i in range(8):
+            read(analyzer, BASE + i * LINE)
+        result = read(analyzer, BASE)
+        assert result.kind is ReadKind.HIT_IN
+        assert result.offchip_vn_fetches == 0 and not result.critical_fetch
+
+    def test_boundary_fetch_off_critical_path(self):
+        analyzer = TenAnalyzer()
+        for i in range(4):
+            read(analyzer, BASE + i * LINE)
+        result = read(analyzer, BASE + 4 * LINE)
+        assert result.kind is ReadKind.HIT_BOUNDARY
+        assert result.offchip_vn_fetches == 1 and not result.critical_fetch
+
+    def test_boundary_vn_mismatch_mispredicts(self):
+        analyzer = TenAnalyzer()
+        for i in range(5):
+            read(analyzer, BASE + i * LINE)
+        # Bump the off-chip VN of the next boundary line behind the entry's back.
+        analyzer.vn_store.set(BASE + 5 * LINE, 9)
+        result = read(analyzer, BASE + 5 * LINE)
+        assert result.kind is ReadKind.MISS
+        assert result.vn == 9
+        assert analyzer.stats["boundary_mispredict"] == 1
+
+    def test_disabled_analyzer_always_misses(self):
+        analyzer = TenAnalyzer(enabled=False)
+        for i in range(8):
+            assert read(analyzer, BASE + i * LINE).kind is ReadKind.MISS
+        assert analyzer.table.n_entries == 0
+
+
+class TestWriteDataflow:
+    def _detect(self, analyzer, n=8):
+        for i in range(n):
+            read(analyzer, BASE + i * LINE)
+
+    def test_covered_writes_track_and_complete(self):
+        analyzer = TenAnalyzer()
+        self._detect(analyzer)
+        results = [write(analyzer, BASE + i * LINE) for i in range(8)]
+        assert results[0].kind is WriteKind.HIT_EDGE
+        assert results[-1].completed_tensor
+        assert analyzer.stats["write_completed_tensors"] == 1
+
+    def test_uncovered_write_bumps_offchip(self):
+        analyzer = TenAnalyzer()
+        result = write(analyzer, 0x900000)
+        assert result.kind is WriteKind.MISS
+        assert analyzer.vn_store.read(0x900000) == 1
+
+    def test_double_write_invalidates_entry(self):
+        analyzer = TenAnalyzer()
+        self._detect(analyzer)
+        write(analyzer, BASE)
+        result = write(analyzer, BASE)  # Assert1 violation
+        assert result.violation
+        assert analyzer.table.entry_of(BASE) is None
+        # Off-chip VNs stay consistent after invalidation sync.
+        assert analyzer.vn_store.read(BASE) == 2
+        assert analyzer.vn_store.read(BASE + LINE) == 0
+
+    def test_write_snoops_filter(self):
+        analyzer = TenAnalyzer()
+        read(analyzer, BASE)
+        read(analyzer, BASE + LINE)  # half-collected stream in the filter
+        write(analyzer, BASE + LINE)
+        read(analyzer, BASE + 2 * LINE)
+        read(analyzer, BASE + 3 * LINE)
+        # The stale stream was dropped, so no entry with a stale VN exists.
+        entry = analyzer.table.entry_of(BASE)
+        assert entry is None
+
+
+class TestTransferInstall:
+    def test_install_creates_full_entry(self):
+        analyzer = TenAnalyzer()
+        analyzer.install_from_transfer(BASE, 16, vn=5)
+        result = read(analyzer, BASE + 7 * LINE)
+        assert result.kind is ReadKind.HIT_IN and result.vn == 5
+
+    def test_metadata_for_range(self):
+        analyzer = TenAnalyzer()
+        analyzer.install_from_transfer(BASE, 16, vn=5)
+        metadata = analyzer.metadata_for_range(BASE, 16)
+        assert metadata is not None and metadata[0] == 5
+
+    def test_metadata_unavailable_when_uncovered(self):
+        analyzer = TenAnalyzer()
+        assert analyzer.metadata_for_range(BASE, 16) is None
+
+
+class TestVnConsistencyInvariant:
+    """The central security invariant: the VN the analyzer supplies always
+    equals the ground-truth write count of the line."""
+
+    @given(seed=st.integers(0, 2**16), threads=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=8, deadline=None)
+    def test_property_adam_iterations_consistent(self, seed, threads):
+        registry = TensorRegistry(alignment=4 * KiB, guard_bytes=256 * KiB)
+        groups = build_adam_groups(registry, n_layers=2, lines_per_tensor=16)
+        config = AdamTraceConfig(threads=threads, thread_skew=0.2, seed=seed)
+        analyzer = TenAnalyzer(capacity=24)  # force eviction churn too
+        rng = random.Random(seed)
+        truth = {}
+        for _ in range(3):
+            for access in adam_iteration_trace(groups, config, rng):
+                if access.kind is AccessKind.READ:
+                    result = analyzer.on_read(access)
+                    assert result.vn == truth.get(access.vaddr, 0)
+                else:
+                    outcome = analyzer.on_write(access)
+                    truth[access.vaddr] = truth.get(access.vaddr, 0) + 1
+                    assert outcome.vn == truth[access.vaddr]
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_property_random_mixed_traffic_consistent(self, seed):
+        rng = random.Random(seed)
+        analyzer = TenAnalyzer(capacity=16)
+        truth = {}
+        lines = [BASE + i * LINE for i in range(64)]
+        for _ in range(600):
+            va = rng.choice(lines)
+            if rng.random() < 0.5:
+                result = analyzer.on_read(MemAccess(va, AccessKind.READ))
+                assert result.vn == truth.get(va, 0)
+            else:
+                outcome = analyzer.on_write(MemAccess(va, AccessKind.WRITE))
+                truth[va] = truth.get(va, 0) + 1
+                assert outcome.vn == truth[va]

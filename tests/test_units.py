@@ -1,0 +1,42 @@
+"""Unit helpers."""
+
+from repro.units import (
+    CACHELINE_BYTES,
+    GiB,
+    KiB,
+    MiB,
+    align_down,
+    align_up,
+    gb_per_s,
+    gib_per_s,
+    lines_in,
+)
+
+
+def test_size_constants_are_powers_of_two():
+    assert KiB == 1 << 10
+    assert MiB == 1 << 20
+    assert GiB == 1 << 30
+
+
+def test_lines_in_rounds_up():
+    assert lines_in(0) == 0
+    assert lines_in(1) == 1
+    assert lines_in(64) == 1
+    assert lines_in(65) == 2
+    assert lines_in(1024) == 16
+
+
+def test_alignment_helpers():
+    assert align_down(4097, 4096) == 4096
+    assert align_up(4097, 4096) == 8192
+    assert align_up(4096, 4096) == 4096
+
+
+def test_bandwidth_conversions():
+    assert gb_per_s(1.0) == 1e9
+    assert gib_per_s(1.0) == float(GiB)
+
+
+def test_cacheline_is_64_bytes():
+    assert CACHELINE_BYTES == 64

@@ -1,0 +1,149 @@
+"""Workload layer: Table-2 zoo, inventories, ZeRO-Offload volumes, traces."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.trace import AccessKind
+from repro.tensor.registry import TensorRegistry
+from repro.units import KiB
+from repro.workloads.models import MODEL_ZOO, model_by_name
+from repro.workloads.traces import (
+    AdamTraceConfig,
+    GemmConfig,
+    adam_iteration_trace,
+    build_adam_groups,
+    build_gemm_tensors,
+    gemm_trace,
+)
+from repro.workloads.transformer import TransformerInventory
+from repro.workloads.zero_offload import ADAM_BYTES_PER_PARAM, ZeroOffloadSchedule
+
+
+class TestModelZoo:
+    def test_twelve_models(self):
+        assert len(MODEL_ZOO) == 12
+
+    @pytest.mark.parametrize("model", MODEL_ZOO, ids=lambda m: m.name)
+    def test_derived_params_close_to_paper(self, model):
+        assert model.n_params == pytest.approx(model.paper_params, rel=0.07)
+
+    def test_batch_sizes_match_table2(self):
+        assert model_by_name("GPT").batch_size == 60
+        assert model_by_name("OPT-6.7B").batch_size == 2
+
+    def test_lookup_case_insensitive(self):
+        assert model_by_name("gpt2-m").name == "GPT2-M"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            model_by_name("GPT-5")
+
+
+class TestInventory:
+    def test_tensor_count_few_hundred(self):
+        # Fig. 4: tensor numbers stay at a few hundred.
+        for model in MODEL_ZOO:
+            inv = TransformerInventory(model)
+            assert 50 <= inv.n_param_tensors <= 400
+
+    def test_total_params_match_model(self):
+        model = model_by_name("GPT2-M")
+        assert TransformerInventory(model).total_params == model.n_params
+
+    def test_comm_volumes(self):
+        model = model_by_name("GPT2-M")
+        inv = TransformerInventory(model)
+        assert inv.grad_bytes == 4 * inv.total_params  # fp32 (Fig. 1)
+        assert inv.weight_bytes == 2 * inv.total_params  # fp16
+
+    def test_layer_grad_bytes_sum(self):
+        model = model_by_name("GPT")
+        inv = TransformerInventory(model)
+        assert sum(inv.layer_grad_bytes()) == inv.grad_bytes
+
+
+class TestZeroOffload:
+    def test_adam_traffic_per_param(self):
+        assert ADAM_BYTES_PER_PARAM == 30  # 4 reads + 3 writes fp32 + fp16 out
+
+    def test_volumes_consistent(self):
+        schedule = ZeroOffloadSchedule(model_by_name("GPT"))
+        v = schedule.volumes()
+        assert v.cpu_adam_bytes == v.n_params * 30
+        assert v.grad_bytes == 2 * v.weight_bytes
+        assert v.npu_flops > 0
+
+    def test_overlap_fractions_bounded(self):
+        g, w = ZeroOffloadSchedule(model_by_name("GPT")).overlap_fractions()
+        assert 0 < g < 1 and 0 < w < 1
+
+
+class TestAdamTrace:
+    def test_every_line_read_and_written_once(self, registry):
+        groups = build_adam_groups(registry, n_layers=2, lines_per_tensor=32)
+        trace = adam_iteration_trace(groups, AdamTraceConfig(threads=4, thread_skew=0.0))
+        reads, writes = {}, {}
+        for acc in trace:
+            bucket = writes if acc.is_write() else reads
+            bucket[acc.vaddr] = bucket.get(acc.vaddr, 0) + 1
+        # Reads: w32/m/v/g once each; writes: w32/m/v (+w16) once each.
+        assert all(count == 1 for count in reads.values())
+        assert all(count == 1 for count in writes.values())
+        for group in groups:
+            for t in group.read_tensors:
+                for addr in t.line_addresses():
+                    assert addr in reads
+            for t in group.rmw_tensors:
+                for addr in t.line_addresses():
+                    assert addr in writes
+            for addr in group.weight16.line_addresses():
+                assert addr in writes
+
+    def test_write_lag(self, registry):
+        groups = build_adam_groups(registry, n_layers=1, lines_per_tensor=32)
+        trace = adam_iteration_trace(
+            groups, AdamTraceConfig(threads=1, thread_skew=0.0, write_lag_bursts=4)
+        )
+        w32 = groups[0].weight32
+        first_write = next(i for i, a in enumerate(trace) if a.is_write())
+        reads_before = sum(
+            1 for a in trace[:first_write] if not a.is_write() and a.tensor_id == w32.tensor_id
+        )
+        assert reads_before >= 4 * 4  # lag bursts x burst lines
+
+    def test_deterministic_given_seed(self, registry):
+        groups = build_adam_groups(registry, n_layers=1, lines_per_tensor=16)
+        cfg = AdamTraceConfig(threads=2, seed=99)
+        import random
+
+        t1 = adam_iteration_trace(groups, cfg, random.Random(1))
+        t2 = adam_iteration_trace(groups, cfg, random.Random(1))
+        assert t1 == t2
+
+    def test_too_small_tensor_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            build_adam_groups(registry, n_layers=1, lines_per_tensor=4)
+
+
+class TestGemmTrace:
+    def test_trace_covers_matrices(self, registry):
+        cfg = GemmConfig(m=128, n=128, k=128, tile_m=32, tile_n=32, tile_k=32)
+        a, b, c = build_gemm_tensors(registry, cfg)
+        trace = gemm_trace(a, b, c, cfg)
+        touched = {acc.vaddr for acc in trace}
+        for t in (a, b, c):
+            assert set(t.line_addresses()) <= touched
+
+    def test_c_written_once_per_pass(self, registry):
+        cfg = GemmConfig(m=128, n=128, k=128, tile_m=32, tile_n=32, tile_k=32)
+        a, b, c = build_gemm_tensors(registry, cfg)
+        writes = {}
+        for acc in gemm_trace(a, b, c, cfg):
+            if acc.is_write():
+                writes[acc.vaddr] = writes.get(acc.vaddr, 0) + 1
+        assert set(writes) == set(c.line_addresses())
+        assert all(count == 1 for count in writes.values())
+
+    def test_indivisible_tiles_rejected(self):
+        with pytest.raises(ConfigError):
+            GemmConfig(m=100, n=128, k=128, tile_m=32, tile_n=32, tile_k=32)

@@ -1,0 +1,6 @@
+"""Minimal offline shim for the `wheel` package.
+
+Provides just enough of the wheel API (WheelFile, bdist_wheel) for
+setuptools' PEP-660 editable installs to work in an offline environment.
+"""
+__version__ = "0.40.0"

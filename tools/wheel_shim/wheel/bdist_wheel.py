@@ -1,0 +1,58 @@
+"""Minimal bdist_wheel command (subset of PyPA `wheel`): pure-Python only."""
+
+import os
+
+from distutils.core import Command
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim, purelib only)"
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("plat-name=", "p", "platform name"),
+    ]
+
+    def initialize_options(self):
+        self.dist_dir = None
+        self.plat_name = None
+        self.root_is_pure = True
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    def get_tag(self):
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base, generator="wheel-shim (offline)"):
+        content = (
+            "Wheel-Version: 1.0\n"
+            "Generator: {}\n"
+            "Root-Is-Purelib: {}\n"
+            "Tag: {}\n"
+        ).format(generator, str(self.root_is_pure).lower(), "-".join(self.get_tag()))
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def run(self):
+        raise NotImplementedError(
+            "the offline wheel shim only supports editable installs"
+        )
+
+
+def _egg2dist_impl(self, egginfo_path, distinfo_path):
+    import shutil
+
+    os.makedirs(distinfo_path, exist_ok=True)
+    pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+    if os.path.exists(pkg_info):
+        shutil.copyfile(pkg_info, os.path.join(distinfo_path, "METADATA"))
+    for extra in ("entry_points.txt", "top_level.txt"):
+        src = os.path.join(egginfo_path, extra)
+        if os.path.exists(src):
+            shutil.copyfile(src, os.path.join(distinfo_path, extra))
+    self.write_wheelfile(distinfo_path)
+
+
+bdist_wheel.egg2dist = _egg2dist_impl

@@ -1,0 +1,76 @@
+"""Minimal WheelFile implementation (subset of PyPA `wheel`)."""
+
+import base64
+import csv
+import hashlib
+import io
+import os
+import re
+import zipfile
+
+_DIST_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^\s-]+?)-(?P<ver>[^\s-]+?))(-(?P<build>\d[^\s-]*))?"
+    r"-(?P<pyver>[^\s-]+?)-(?P<abi>[^\s-]+?)-(?P<plat>\S+)\.whl$"
+)
+
+
+def _urlsafe_b64(data):
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Zip container that records file hashes and writes RECORD on close."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(str(file))
+        match = _DIST_INFO_RE.match(basename)
+        if not match:
+            raise ValueError(f"bad wheel filename {basename!r}")
+        self.parsed_filename = match
+        self.dist_info_path = "{}.dist-info".format(match.group("namever"))
+        self.record_path = self.dist_info_path + "/RECORD"
+        self._file_hashes = {}
+        zipfile.ZipFile.__init__(self, file, mode, compression=compression)
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as f:
+            data = f.read()
+        self.writestr(arcname or filename, data, compress_type)
+
+    def write_files(self, base_dir):
+        deferred = []
+        for root, dirnames, filenames in os.walk(base_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                path = os.path.normpath(os.path.join(root, name))
+                if not os.path.isfile(path):
+                    continue
+                arcname = os.path.relpath(path, base_dir).replace(os.path.sep, "/")
+                if arcname == self.record_path:
+                    deferred.append((path, arcname))
+                else:
+                    self.write(path, arcname)
+        for path, arcname in deferred:
+            self.write(path, arcname)
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        zipfile.ZipFile.writestr(self, zinfo_or_arcname, data, compress_type)
+        if isinstance(zinfo_or_arcname, zipfile.ZipInfo):
+            arcname = zinfo_or_arcname.filename
+        else:
+            arcname = zinfo_or_arcname
+        if arcname != self.record_path:
+            digest = hashlib.sha256(data).digest()
+            self._file_hashes[arcname] = ("sha256=" + _urlsafe_b64(digest), len(data))
+
+    def close(self):
+        if self.fp is not None and self.mode == "w" and self.record_path not in self.namelist():
+            out = io.StringIO()
+            writer = csv.writer(out, delimiter=",", quotechar='"', lineterminator="\n")
+            for arcname, (hash_str, size) in sorted(self._file_hashes.items()):
+                writer.writerow((arcname, hash_str, size))
+            writer.writerow((self.record_path, "", ""))
+            zipfile.ZipFile.writestr(self, self.record_path, out.getvalue())
+        zipfile.ZipFile.close(self)
