@@ -1,13 +1,13 @@
 """Ablations of TenAnalyzer design choices (Sec. 6.2 limitations + DESIGN.md)."""
 
-from benchmarks.conftest import emit
-from repro.eval import ablations
+from benchmarks.conftest import emit, spec
 
 
 def test_capacity_scalability(once):
     """Sec. 6.2: beyond ~512 managed tensors the benefit diminishes."""
-    rows = once(ablations.capacity_sweep)
-    emit("ablation_capacity", ablations.render(rows, "Ablation — tensors vs Meta Table capacity"))
+    out = once(spec("ablation_capacity").execute)
+    emit(out)
+    rows = out.result
     comfortable = rows[0]  # well under capacity
     overloaded = rows[-1]  # tensors*shards far above capacity
     assert comfortable.hit_in_late > 0.95
@@ -16,8 +16,9 @@ def test_capacity_scalability(once):
 
 def test_replacement_policy(once):
     """Random replacement avoids LRU's cyclic-thrash pathology."""
-    rows = once(ablations.replacement_sweep)
-    emit("ablation_replacement", ablations.render(rows, "Ablation — Meta Table replacement policy"))
+    out = once(spec("ablation_replacement").execute)
+    emit(out)
+    rows = out.result
     random_row = next(r for r in rows if r.label == "random")
     lru_row = next(r for r in rows if r.label == "lru")
     assert random_row.hit_in_late >= lru_row.hit_in_late
@@ -25,14 +26,16 @@ def test_replacement_policy(once):
 
 def test_merge_window(once):
     """Larger windows converge faster (more merge candidates visible)."""
-    rows = once(ablations.merge_window_sweep)
-    emit("ablation_merge_window", ablations.render(rows, "Ablation — merge window size"))
+    out = once(spec("ablation_merge_window").execute)
+    emit(out)
+    rows = out.result
     assert rows[-1].hit_in_late >= rows[0].hit_in_late - 0.05
 
 
 def test_entmf_disabled(once):
     """EnTMF=0: the unit is off, everything takes the off-chip path."""
-    row = once(ablations.entmf_disabled)
-    emit("ablation_entmf", ablations.render([row], "Ablation — EnTMF disabled"))
+    out = once(spec("ablation_entmf").execute)
+    emit(out)
+    row = out.result
     assert row.hit_in_late == 0.0
     assert row.entries == 0

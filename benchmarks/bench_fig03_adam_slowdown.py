@@ -1,12 +1,12 @@
 """Figure 3: Adam slowdown under SGX vs threads."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig03_adam_slowdown as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig03(once):
-    result = once(fig.run)
-    emit("fig03_adam_slowdown", fig.render(result))
+    out = once(spec("fig03_adam_slowdown").execute)
+    emit(out)
+    result = out.result
     assert 3.0 < result.max_slowdown < 4.2  # paper: up to ~3.7x
     slowdowns = [row.slowdown for row in result.rows]
     assert slowdowns == sorted(slowdowns)  # grows with thread count

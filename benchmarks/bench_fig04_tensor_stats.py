@@ -1,12 +1,12 @@
 """Figure 4: tensor count/size characteristics."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig04_tensor_stats as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig04(once):
-    result = once(fig.run)
-    emit("fig04_tensor_stats", fig.render(result))
+    out = once(spec("fig04_tensor_stats").execute)
+    emit(out)
+    result = out.result
     assert result.max_count < 450  # "only a few hundred"
     assert all(row.max_tensor_mib > 1.0 for row in result.rows)  # MB scale
     largest = max(row.max_layer_tensor_mib for row in result.rows)

@@ -1,12 +1,12 @@
 """Figure 5: GPT2-M breakdown, non-secure vs SGX+MGX."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig05_breakdown as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig05(once):
-    result = once(fig.run)
-    emit("fig05_breakdown", fig.render(result))
+    out = once(spec("fig05_breakdown").execute)
+    emit(out)
+    result = out.result
     ns_comm = result.comm_fraction(result.non_secure)
     base_comm = result.comm_fraction(result.baseline)
     assert base_comm > 0.25  # paper: 53%

@@ -1,12 +1,12 @@
 """Figure 16: overall speedup across the Table-2 zoo."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig16_overall as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig16(once):
-    result = once(fig.run)
-    emit("fig16_overall", fig.render(result))
+    out = once(spec("fig16_overall").execute)
+    emit(out)
+    result = out.result
     assert 3.0 < result.mean_speedup < 5.0  # paper avg: 4.0x
     assert result.max_speedup < 7.0  # paper max: 5.5x
     assert 0.0 <= result.mean_overhead < 0.04  # paper: 2.1%

@@ -1,12 +1,12 @@
 """Figure 17: per-model stage breakdowns under all three configurations."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig17_breakdown as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig17(once):
-    result = once(fig.run)
-    emit("fig17_breakdown", fig.render(result))
+    out = once(spec("fig17_breakdown").execute)
+    emit(out)
+    result = out.result
     for by_mode in result.breakdowns.values():
         base = by_mode["sgx+mgx"].fractions()
         ours = by_mode["tensortee"].fractions()

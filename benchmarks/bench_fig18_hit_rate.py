@@ -1,12 +1,12 @@
 """Figure 18: Meta Table hit-rate convergence (scaled functional run)."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig18_hit_rate as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig18(once):
-    result = once(fig.run)
-    emit("fig18_hit_rate", fig.render(result))
+    out = once(spec("fig18_hit_rate").execute)
+    emit(out)
+    result = out.result
     assert result.records[1].hit_all > 0.6  # high after one iteration
     assert result.hit_in_at(5) > 0.6  # paper: ~80% by iter 5
     assert result.hit_in_at(19) > 0.9  # paper: ~95% by iter 20

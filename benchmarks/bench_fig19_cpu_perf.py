@@ -1,12 +1,12 @@
 """Figure 19: CPU Adam latency — TensorTEE by iteration vs SGX/SoftVN."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig19_cpu_perf as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig19(once):
-    result = once(fig.run)
-    emit("fig19_cpu_perf", fig.render(result))
+    out = once(spec("fig19_cpu_perf").execute)
+    emit(out)
+    result = out.result
     assert result.sgx[8] > result.sgx[4] > 2.0  # SGX worsens with threads
     assert 1.0 <= result.softvn[4] < 1.15
     first = result.ours_by_iteration[1]

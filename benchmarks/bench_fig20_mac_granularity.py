@@ -1,12 +1,12 @@
 """Figure 20: MAC granularity sweep on the NPU."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig20_mac_granularity as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig20(benchmark):
-    result = benchmark(fig.run)
-    emit("fig20_mac_granularity", fig.render(result))
+    out = benchmark(spec("fig20_mac_granularity").execute)
+    emit(out)
+    result = out.result
     fine = result.row("64B")
     coarse = result.row("4096B")
     mid = result.row("512B")

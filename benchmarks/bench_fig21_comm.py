@@ -1,12 +1,12 @@
 """Figure 21: gradient-transfer breakdown and improvement."""
 
-from benchmarks.conftest import emit
-from repro.eval import fig21_comm as fig
+from benchmarks.conftest import emit, spec
 
 
 def test_fig21(once):
-    result = once(fig.run)
-    emit("fig21_comm", fig.render(result))
+    out = once(spec("fig21_comm").execute)
+    emit(out)
+    result = out.result
     # Baseline pays re-encryption + decryption around every link transfer.
     for row in result.rows:
         assert row.reenc_s > 0 and row.dec_s > 0

@@ -1,25 +1,25 @@
 """Tables 1 and 2 plus the Sec. 6.5 hardware-overhead table."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, spec
 from repro.core.hw_cost import HardwareBudget
-from repro.eval import tables_12
 
 
 def test_table1(benchmark):
-    text = benchmark(tables_12.render_table1)
-    emit("table1_config", text)
+    out = benchmark(spec("table1_config").execute)
+    emit(out)
+    text = out.text
     assert "512x512" in text and "GDDR5" in text.replace("gddr5", "GDDR5")
 
 
 def test_table2(benchmark):
-    text = benchmark(tables_12.render_table2)
-    emit("table2_workloads", text)
-    assert "OPT-6.7B" in text and "LLAMA2-7B" in text
+    out = benchmark(spec("table2_workloads").execute)
+    emit(out)
+    assert "OPT-6.7B" in out.text and "LLAMA2-7B" in out.text
 
 
 def test_hw_overhead(benchmark):
-    text = benchmark(tables_12.render_hw_overhead)
-    emit("hw_overhead", text)
+    out = benchmark(spec("hw_overhead").execute)
+    emit(out)
     budget = HardwareBudget()
     assert abs(budget.total_kib - 24.0) < 0.6  # paper: ~24 KB
     assert abs(budget.area_mm2 - 0.0072) < 0.0005  # paper: 0.0072 mm^2

@@ -1,8 +1,9 @@
 """Benchmark harness conventions.
 
-Each ``bench_*`` file regenerates one paper table/figure: the benchmark
-measures the experiment's runtime, and the rendered rows/series are written
-to ``results/`` (and echoed through pytest's captured stdout). Shape
+Each ``bench_*`` file regenerates one paper table/figure **through the
+experiment registry** (``repro.eval.registry``): the benchmark times
+``spec(name).execute()``, and the rendered rows/series are written to
+``results/`` (and echoed through pytest's captured stdout). Shape
 assertions guard the paper-claim properties so a regression in the models
 fails the bench, not just the unit tests.
 """
@@ -11,13 +12,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.eval.registry import REGISTRY, ExperimentOutput, ExperimentSpec
 
-def emit(name: str, text: str) -> None:
+
+def spec(name: str) -> ExperimentSpec:
+    """Look up a registered experiment by its paper name."""
+    return REGISTRY.get(name)
+
+
+def emit(output: ExperimentOutput) -> None:
     """Persist and print a rendered experiment."""
     from repro.eval.tables import save_result
 
-    path = save_result(name, text)
-    print(f"\n[{name}] -> {path}\n{text}\n")
+    path = save_result(output.name, output.text)
+    print(f"\n[{output.name}] -> {path}\n{output.text}\n")
 
 
 @pytest.fixture

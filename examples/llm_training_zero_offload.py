@@ -15,7 +15,7 @@ import sys
 from repro.core.config import baseline_system, non_secure_system, tensortee_system
 from repro.core.system import CollaborativeSystem
 from repro.eval.tables import ascii_table
-from repro.workloads.models import MODEL_ZOO, model_by_name
+from repro.workloads.models import model_by_name
 from repro.workloads.zero_offload import ZeroOffloadSchedule
 
 

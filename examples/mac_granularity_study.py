@@ -10,7 +10,7 @@ barrier tail.
 Run: python examples/mac_granularity_study.py
 """
 
-from repro.eval import fig20_mac_granularity as fig
+from repro.eval.registry import REGISTRY
 from repro.eval.tables import ascii_table
 from repro.npu.config import NpuConfig
 from repro.npu.mac import MacScheme
@@ -18,7 +18,7 @@ from repro.units import KiB
 
 
 def main() -> None:
-    print(fig.render(fig.run()))
+    print(REGISTRY.get("fig20_mac_granularity").execute().text)
 
     print("\nAblation 1 — stall window (DMA streaming depth):")
     rows = []

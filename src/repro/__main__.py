@@ -1,0 +1,7 @@
+"""``python -m repro`` — the experiment orchestrator CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

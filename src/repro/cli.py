@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro {run,list,clean}``.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --jobs 4
+    python -m repro run --only fig16_overall,fig17_breakdown --no-cache
+    python -m repro run --tag paper --json
+    python -m repro clean
+
+See EXPERIMENTS.md for the experiment catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.eval.orchestrator import Orchestrator, clean
+from repro.eval.registry import REGISTRY
+
+
+def _split_names(values: Sequence[str]) -> Optional[List[str]]:
+    """Flatten repeated/comma-separated ``--only``/``--tag`` values."""
+    names = [name.strip() for value in values for name in value.split(",")]
+    names = [name for name in names if name]
+    return names or None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures and tables (see EXPERIMENTS.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute experiments (parallel, cached)")
+    run.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="NAME[,NAME...]",
+        help="run only these experiments (repeatable or comma-separated)",
+    )
+    run.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        metavar="TAG[,TAG...]",
+        help="run only experiments carrying every given tag",
+    )
+    run.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = in-process serial)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="always execute, and do not store new cache entries",
+    )
+    run.add_argument("--seed", type=int, default=0, help="run-level RNG seed")
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the manifest to stdout instead of progress lines",
+    )
+    run.add_argument(
+        "--show-text", action="store_true",
+        help="echo each rendered artifact (the legacy runner's output)",
+    )
+    run.add_argument("--quiet", "-q", action="store_true", help="no progress lines")
+
+    lst = sub.add_parser("list", help="list registered experiments")
+    lst.add_argument("--tag", action="append", default=[], metavar="TAG[,TAG...]")
+    lst.add_argument("--json", action="store_true", help="machine-readable listing")
+
+    cln = sub.add_parser("clean", help="remove rendered artifacts + manifest + cache")
+    cln.add_argument(
+        "--keep-cache", action="store_true", help="leave the result cache in place"
+    )
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    orchestrator = Orchestrator(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        run_seed=args.seed,
+        verbose=not (args.quiet or args.json),
+        show_text=args.show_text,
+    )
+    report = orchestrator.run(
+        only=_split_names(args.only), tags=_split_names(args.tag)
+    )
+    if args.json:
+        json.dump(report.manifest(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    return 0 if report.ok else 1
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    specs = REGISTRY.select(tags=_split_names(args.tag))
+    if args.json:
+        listing = [
+            {
+                "name": s.name,
+                "module": s.module,
+                "tags": list(s.tags),
+                "cost": s.cost,
+                "description": s.description,
+                "params": s.param_schema(),
+            }
+            for s in specs
+        ]
+        json.dump(listing, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    width = max((len(s.name) for s in specs), default=0)
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"{spec.name:<{width}}  [{spec.cost}] ({tags}) {spec.description}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    for path in clean(remove_cache=not args.keep_cache):
+        print(f"removed {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"run": cmd_run, "list": cmd_list, "clean": cmd_clean}[args.command]
+    try:
+        return handler(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,10 @@ the transfer descriptor (the Sec. 4.2 fast path).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 from repro.comm.channel import TensorMetadata, TrustedChannel
-from repro.errors import IntegrityError, PoisonedTensorError, ProtocolError
+from repro.errors import IntegrityError, ProtocolError
 from repro.tee.device import CpuSecureDevice, NpuSecureDevice
 from repro.tensor.tensor import TensorDesc
 from repro.units import CACHELINE_BYTES

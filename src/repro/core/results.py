@@ -40,3 +40,18 @@ class StageBreakdown:
     def speedup_over(self, other: "StageBreakdown") -> float:
         """How much faster *self* is than ``other``."""
         return other.total_s / max(self.total_s, 1e-30)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe record for manifests and machine-readable reports."""
+        return {
+            "model": self.model_name,
+            "mode": self.mode,
+            "npu_s": self.npu_s,
+            "cpu_s": self.cpu_s,
+            "comm_w_s": self.comm_w_s,
+            "comm_g_s": self.comm_g_s,
+            "comm_w_busy_s": self.comm_w_busy_s,
+            "comm_g_busy_s": self.comm_g_busy_s,
+            "total_s": self.total_s,
+            "fractions": self.fractions(),
+        }

@@ -19,7 +19,6 @@ from functools import lru_cache
 from typing import Dict
 
 from repro.comm.scheduler import (
-    CommConfig,
     TransferTiming,
     direct_transfer,
     graviton_transfer,
@@ -32,10 +31,8 @@ from repro.cpu.sgx import sgx_costs
 from repro.cpu.tensortee_mode import AnalyzerRates, tensortee_costs
 from repro.cpu.timing import ModeCosts, adam_latency, non_secure_costs
 from repro.errors import ConfigError
-from repro.npu.config import NpuConfig
 from repro.npu.kernels import iteration_time_s
 from repro.npu.mac import MacScheme
-from repro.units import GiB
 from repro.workloads.models import ModelConfig
 from repro.workloads.zero_offload import ZeroOffloadSchedule
 

@@ -14,7 +14,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.cpu.config import CpuConfig
 from repro.cpu.tenanalyzer import TenAnalyzer
 from repro.cpu.tensortee_mode import AnalyzerRates
 from repro.errors import ConfigError

@@ -24,7 +24,7 @@ from repro.cpu.tenanalyzer.tensor_filter import TensorFilter
 from repro.cpu.tenanalyzer.vn_store import OffChipVnStore
 from repro.errors import ConfigError
 from repro.sim.stats import Stats
-from repro.sim.trace import AccessKind, MemAccess
+from repro.sim.trace import MemAccess
 from repro.units import CACHELINE_BYTES
 
 LINE = CACHELINE_BYTES

@@ -10,7 +10,7 @@ tensors concurrently; LRU eviction discards noise streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cpu.tenanalyzer.entry import EntryGeometry

@@ -1,11 +1,14 @@
 """Evaluation harness: one generator per paper figure/table.
 
 Each ``figNN`` module exposes a ``run(...)`` returning a result dataclass
-and a ``render(result)`` producing the ASCII table printed by the
-corresponding benchmark. ``repro.eval.runner`` regenerates everything into
-``results/``.
+and a ``render(result)`` producing the ASCII table, and registers itself
+into :data:`repro.eval.registry.REGISTRY` under its paper name. The
+orchestrator (``python -m repro run``) schedules registered experiments in
+parallel with result caching; ``repro.eval.runner`` remains as a serial
+shim.
 """
 
+from repro.eval.registry import REGISTRY, experiment
 from repro.eval.tables import ascii_table, save_result
 
-__all__ = ["ascii_table", "save_result"]
+__all__ = ["REGISTRY", "ascii_table", "experiment", "save_result"]

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.cpu.adam import AdamExperiment, AdamExperimentConfig
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt
 
 
@@ -39,6 +40,9 @@ def _run(config: AdamExperimentConfig, iterations: int = 8) -> AblationRow:
     )
 
 
+@experiment(
+    "ablation_capacity", tags=("ablation", "cpu"), cost="slow", render="render_capacity"
+)
 def capacity_sweep(iterations: int = 8) -> List[AblationRow]:
     """Steady-state hit rates as tensor count outgrows the Meta Table."""
     rows = []
@@ -64,6 +68,12 @@ def capacity_sweep(iterations: int = 8) -> List[AblationRow]:
     return rows
 
 
+@experiment(
+    "ablation_replacement",
+    tags=("ablation", "cpu"),
+    cost="slow",
+    render="render_replacement",
+)
 def replacement_sweep(iterations: int = 8) -> List[AblationRow]:
     """Random vs LRU replacement under shard-entry pressure."""
     from repro.cpu.adam import AdamExperiment
@@ -91,6 +101,12 @@ def replacement_sweep(iterations: int = 8) -> List[AblationRow]:
     return rows
 
 
+@experiment(
+    "ablation_merge_window",
+    tags=("ablation", "cpu"),
+    cost="slow",
+    render="render_merge_window",
+)
 def merge_window_sweep(iterations: int = 8) -> List[AblationRow]:
     """Convergence speed vs merge window size."""
     rows = []
@@ -115,6 +131,9 @@ def merge_window_sweep(iterations: int = 8) -> List[AblationRow]:
     return rows
 
 
+@experiment(
+    "ablation_entmf", tags=("ablation", "cpu"), cost="fast", render="render_entmf"
+)
 def entmf_disabled(iterations: int = 3) -> AblationRow:
     """Tensor-wise management disabled: the SGX fallback path."""
     config = AdamExperimentConfig(
@@ -137,3 +156,21 @@ def render(rows: List[AblationRow], title: str) -> str:
         [(r.label, fmt(r.hit_in_early, 3), fmt(r.hit_in_late, 3), r.entries) for r in rows],
     )
     return f"{title}\n\n{table}"
+
+
+# Single-argument renderers the registry resolves by name (one per study).
+
+def render_capacity(rows: List[AblationRow]) -> str:
+    return render(rows, "Ablation — tensors vs Meta Table capacity")
+
+
+def render_replacement(rows: List[AblationRow]) -> str:
+    return render(rows, "Ablation — Meta Table replacement policy")
+
+
+def render_merge_window(rows: List[AblationRow]) -> str:
+    return render(rows, "Ablation — merge window size")
+
+
+def render_entmf(row: AblationRow) -> str:
+    return render([row], "Ablation — EnTMF disabled")

@@ -13,6 +13,7 @@ from typing import List
 from repro.cpu.config import CpuConfig
 from repro.cpu.sgx import sgx_costs
 from repro.cpu.timing import adam_latency, non_secure_costs
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt
 
 
@@ -37,6 +38,7 @@ class Fig3Result:
         return max(row.slowdown for row in self.rows)
 
 
+@experiment("fig03_adam_slowdown", tags=("paper", "figure", "cpu"), cost="slow")
 def run(n_params: int = 345_000_000, max_threads: int = 8) -> Fig3Result:
     config = CpuConfig()
     rows = []

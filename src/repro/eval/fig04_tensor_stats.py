@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt
 from repro.units import MiB
 from repro.workloads.models import MODEL_ZOO, ModelConfig
@@ -33,6 +34,7 @@ class Fig4Result:
         return max(row.tensor_count for row in self.rows)
 
 
+@experiment("fig04_tensor_stats", tags=("paper", "figure", "workloads"), cost="fast")
 def run(models: tuple[ModelConfig, ...] = MODEL_ZOO) -> Fig4Result:
     rows = []
     for model in models:

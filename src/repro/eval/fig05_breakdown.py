@@ -7,11 +7,11 @@ to ~53% under the mismatched-granularity baseline TEE.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.core.config import baseline_system, non_secure_system
 from repro.core.results import StageBreakdown
 from repro.core.system import CollaborativeSystem
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, pct
 from repro.workloads.models import model_by_name
 
@@ -25,7 +25,15 @@ class Fig5Result:
         f = breakdown.fractions()
         return f["Comm W"] + f["Comm G"]
 
+    def as_dict(self) -> dict:
+        """JSON-safe digest for the orchestrator manifest."""
+        return {
+            "non_secure": self.non_secure.as_dict(),
+            "baseline": self.baseline.as_dict(),
+        }
 
+
+@experiment("fig05_breakdown", tags=("paper", "figure", "e2e"), cost="fast")
 def run(model_name: str = "GPT2-M") -> Fig5Result:
     model = model_by_name(model_name)
     ns = CollaborativeSystem(non_secure_system()).iteration_breakdown(model)

@@ -11,6 +11,7 @@ from typing import List
 
 from repro.core.config import baseline_system, non_secure_system, tensortee_system
 from repro.core.system import CollaborativeSystem
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt, pct
 from repro.workloads.models import MODEL_ZOO, ModelConfig
 
@@ -47,7 +48,27 @@ class Fig16Result:
     def mean_overhead(self) -> float:
         return sum(r.overhead for r in self.rows) / len(self.rows)
 
+    def as_dict(self) -> dict:
+        """JSON-safe digest for the orchestrator manifest."""
+        return {
+            "mean_speedup": self.mean_speedup,
+            "max_speedup": self.max_speedup,
+            "mean_overhead": self.mean_overhead,
+            "rows": [
+                {
+                    "model": r.model,
+                    "non_secure_s": r.non_secure_s,
+                    "baseline_s": r.baseline_s,
+                    "tensortee_s": r.tensortee_s,
+                    "speedup": r.speedup,
+                    "overhead": r.overhead,
+                }
+                for r in self.rows
+            ],
+        }
 
+
+@experiment("fig16_overall", tags=("paper", "figure", "e2e"), cost="slow")
 def run(models: tuple[ModelConfig, ...] = MODEL_ZOO) -> Fig16Result:
     systems = {
         "ns": CollaborativeSystem(non_secure_system()),

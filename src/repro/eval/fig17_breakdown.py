@@ -12,6 +12,7 @@ from typing import Dict, List
 from repro.core.config import baseline_system, non_secure_system, tensortee_system
 from repro.core.results import StageBreakdown
 from repro.core.system import CollaborativeSystem
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, pct
 from repro.workloads.models import MODEL_ZOO, ModelConfig
 
@@ -20,7 +21,15 @@ from repro.workloads.models import MODEL_ZOO, ModelConfig
 class Fig17Result:
     breakdowns: Dict[str, Dict[str, StageBreakdown]]  # model -> mode -> stages
 
+    def as_dict(self) -> dict:
+        """JSON-safe digest for the orchestrator manifest."""
+        return {
+            model: {mode: b.as_dict() for mode, b in by_mode.items()}
+            for model, by_mode in self.breakdowns.items()
+        }
 
+
+@experiment("fig17_breakdown", tags=("paper", "figure", "e2e"), cost="slow")
 def run(models: tuple[ModelConfig, ...] = MODEL_ZOO) -> Fig17Result:
     systems = {
         "non-secure": CollaborativeSystem(non_secure_system()),

@@ -7,10 +7,11 @@ entry merging consolidates the per-core shard entries below table capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.cpu.adam import AdamExperiment, AdamExperimentConfig, IterationStats
+from repro.eval.registry import experiment
 
 
 #: Scaled configuration with the capacity pressure that makes convergence
@@ -39,6 +40,7 @@ class Fig18Result:
         return self.records[-1].hit_all
 
 
+@experiment("fig18_hit_rate", tags=("paper", "figure", "cpu"), cost="slow")
 def run(iterations: int = 20, config: AdamExperimentConfig = FIG18_CONFIG) -> Fig18Result:
     experiment = AdamExperiment(config)
     return Fig18Result(records=experiment.run(iterations))

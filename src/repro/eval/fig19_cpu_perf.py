@@ -23,6 +23,7 @@ from repro.cpu.sgx import sgx_costs
 from repro.cpu.softvn import softvn_costs
 from repro.cpu.tensortee_mode import tensortee_costs
 from repro.cpu.timing import adam_latency, non_secure_costs
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt
 
 
@@ -36,6 +37,7 @@ class Fig19Result:
     threads: List[int]
 
 
+@experiment("fig19_cpu_perf", tags=("paper", "figure", "cpu"), cost="slow")
 def run(
     n_params: int = 345_000_000,
     iterations: tuple[int, ...] = (1, 2, 5, 10, 20, 30, 40),

@@ -10,9 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, pct
 from repro.npu.config import NpuConfig
-from repro.npu.mac import MacScheme, fig20_schemes
+from repro.npu.mac import fig20_schemes
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,7 @@ class Fig20Result:
         raise KeyError(name)
 
 
+@experiment("fig20_mac_granularity", tags=("paper", "figure", "npu"), cost="fast")
 def run(config: NpuConfig | None = None) -> Fig20Result:
     config = config if config is not None else NpuConfig()
     rows = []

@@ -17,6 +17,7 @@ from typing import List
 from repro.comm.scheduler import CommConfig, direct_transfer, graviton_transfer
 from repro.core.config import tensortee_system
 from repro.core.system import CollaborativeSystem
+from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt
 from repro.workloads.models import MODEL_ZOO, ModelConfig
 from repro.workloads.zero_offload import ZeroOffloadSchedule
@@ -57,6 +58,7 @@ class Fig21Result:
         return sum(r.exposed_improvement for r in self.rows) / len(self.rows)
 
 
+@experiment("fig21_comm", tags=("paper", "figure", "comm"), cost="slow")
 def run(models: tuple[ModelConfig, ...] = MODEL_ZOO) -> Fig21Result:
     comm = CommConfig()
     ours_system = CollaborativeSystem(tensortee_system())

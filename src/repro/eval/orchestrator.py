@@ -1,0 +1,347 @@
+"""Parallel experiment scheduler with caching and a machine-readable manifest.
+
+The experiments are embarrassingly parallel — each one derives its
+figure/table from the analytic models with no shared mutable state — so the
+scheduler fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(slow cost-class first, to minimize makespan), replays unchanged experiments
+from the :mod:`repro.eval.cache`, and records per-experiment timing, seed,
+cache key and artifact path in ``results/manifest.json``.
+
+``jobs=1`` runs everything in-process in registry order — byte-identical to
+the legacy serial runner and friendlier to debuggers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import datetime
+import hashlib
+import json
+import os
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.eval import cache as result_cache
+from repro.eval.registry import REGISTRY, normalize_params
+from repro.eval.tables import results_dir, save_result
+from repro.sim.stats import Stats
+
+#: results/manifest.json layout version.
+MANIFEST_SCHEMA = 1
+
+STATUS_EXECUTED = "executed"
+STATUS_CACHED = "cached"
+STATUS_FAILED = "failed"
+
+
+def derive_seed(run_seed: int, name: str) -> int:
+    """Per-experiment RNG seed, stable across runs and worker placement."""
+    digest = hashlib.sha256(f"{run_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one scheduled experiment."""
+
+    name: str
+    status: str
+    elapsed_s: float  #: execution time (original run's time when cached)
+    seed: int
+    cache_key: str
+    params: Dict[str, Any]
+    tags: List[str]
+    cost: str
+    text: str = ""
+    artifact: Optional[str] = None
+    error: Optional[str] = None
+    summary: Optional[dict] = None
+
+    def manifest_record(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "seed": self.seed,
+            "cache_key": self.cache_key,
+            "params": self.params,
+            "tags": self.tags,
+            "cost": self.cost,
+            "artifact": self.artifact,
+            "error": self.error,
+            "summary": self.summary,
+        }
+
+
+@dataclass
+class RunReport:
+    """Everything one orchestrator invocation did."""
+
+    runs: List[ExperimentRun]
+    jobs: int
+    cache_enabled: bool
+    source_digest: str
+    wall_s: float
+    stats: Stats = field(default_factory=lambda: Stats("orchestrator"))
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status != STATUS_FAILED for r in self.runs)
+
+    def rendered(self) -> Dict[str, str]:
+        """``{name: text}`` in scheduling order (the legacy runner's shape)."""
+        return {r.name: r.text for r in self.runs}
+
+    def counts(self) -> Dict[str, int]:
+        counts = {STATUS_EXECUTED: 0, STATUS_CACHED: 0, STATUS_FAILED: 0}
+        for run in self.runs:
+            counts[run.status] += 1
+        return counts
+
+    def manifest(self) -> dict:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "jobs": self.jobs,
+            "cache_enabled": self.cache_enabled,
+            "source_digest": self.source_digest,
+            "wall_s": round(self.wall_s, 6),
+            "counts": self.counts(),
+            "counters": self.stats.as_dict(),
+            "experiments": [r.manifest_record() for r in self.runs],
+        }
+
+    def write_manifest(self, path: Optional[str] = None) -> str:
+        path = path or os.path.join(results_dir(), "manifest.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(self.manifest(), f, indent=2)
+            f.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def _execute_one(name: str, seed: int, params: Dict[str, Any]) -> dict:
+    """Worker entry point: run one experiment by registry name.
+
+    Runs in a pool worker (or inline for ``jobs=1``); returns a picklable
+    record, never the result object itself.
+    """
+    random.seed(seed)
+    spec = REGISTRY.get(name)
+    start = time.perf_counter()
+    output = spec.execute(**params)
+    elapsed = time.perf_counter() - start
+    return {
+        "name": name,
+        "text": output.text,
+        "summary": output.summary(),
+        "elapsed_s": elapsed,
+    }
+
+
+class Orchestrator:
+    """Schedules registered experiments; owns the cache and the manifest."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        use_cache: bool = True,
+        run_seed: int = 0,
+        verbose: bool = True,
+        show_text: bool = False,
+    ) -> None:
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self.use_cache = use_cache
+        self.run_seed = run_seed
+        self.verbose = verbose
+        self.show_text = show_text
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(message, flush=True)
+
+    def run(
+        self,
+        only: Optional[Sequence[str]] = None,
+        tags: Optional[Sequence[str]] = None,
+        params: Optional[Dict[str, Dict[str, Any]]] = None,
+        write_manifest: bool = True,
+    ) -> RunReport:
+        """Run the selected experiments; returns the full report.
+
+        ``params`` maps experiment name -> keyword overrides for its
+        ``run`` function (overrides participate in the cache key).
+        """
+        specs = REGISTRY.select(only=only, tags=tags)
+        params = params or {}
+        unmatched = sorted(set(params) - {spec.name for spec in specs})
+        if unmatched:
+            raise ConfigError(
+                f"param overrides for experiment(s) not in this run: {unmatched}; "
+                f"selected: {[spec.name for spec in specs]}"
+            )
+        stats = Stats("orchestrator")
+        digest = result_cache.source_digest()
+        cache = result_cache.ResultCache()
+        start = time.perf_counter()
+
+        pending: List[ExperimentRun] = []
+        by_name: Dict[str, ExperimentRun] = {}
+        for spec in specs:
+            overrides = dict(params.get(spec.name, {}))
+            spec.validate_params(overrides)
+            seed = derive_seed(self.run_seed, spec.name)
+            norm = normalize_params(overrides)
+            key = result_cache.cache_key(spec.name, norm, seed, digest)
+            run = ExperimentRun(
+                name=spec.name,
+                status=STATUS_FAILED,
+                elapsed_s=0.0,
+                seed=seed,
+                cache_key=key,
+                params=norm,
+                tags=list(spec.tags),
+                cost=spec.cost,
+            )
+            by_name[spec.name] = run
+            entry = cache.load(spec.name, key) if self.use_cache else None
+            if entry is not None:
+                run.status = STATUS_CACHED
+                run.text = entry.text
+                run.elapsed_s = entry.elapsed_s
+                run.summary = entry.summary
+                run.artifact = save_result(spec.name, entry.text)
+                stats.add("cache.hits")
+                self._log(f"[cached {entry.elapsed_s:6.1f}s] {run.artifact}")
+            else:
+                if self.use_cache:
+                    stats.add("cache.misses")
+                pending.append(run)
+
+        if pending:
+            self._execute(pending, by_name, params, cache, stats)
+
+        runs = [by_name[spec.name] for spec in specs]
+        report = RunReport(
+            runs=runs,
+            jobs=self.jobs,
+            cache_enabled=self.use_cache,
+            source_digest=digest,
+            wall_s=time.perf_counter() - start,
+            stats=stats,
+        )
+        if write_manifest:
+            path = report.write_manifest()
+            self._log(f"manifest: {path}")
+        counts = report.counts()
+        self._log(
+            f"done in {report.wall_s:.1f}s — {counts[STATUS_EXECUTED]} executed, "
+            f"{counts[STATUS_CACHED]} cached, {counts[STATUS_FAILED]} failed"
+            f" (jobs={self.jobs})"
+        )
+        return report
+
+    def _execute(
+        self,
+        pending: List[ExperimentRun],
+        by_name: Dict[str, ExperimentRun],
+        params: Dict[str, Dict[str, Any]],
+        cache: result_cache.ResultCache,
+        stats: Stats,
+    ) -> None:
+        # Long experiments first so the pool's tail is short.
+        ordered = sorted(pending, key=lambda r: (r.cost != "slow",))
+        if self.jobs == 1 or len(pending) == 1:
+            for run in ordered:
+                record, error = self._run_inline(run, params)
+                self._finish(run, record, error, cache, stats)
+            return
+        workers = min(self.jobs, len(ordered))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_one, run.name, run.seed, dict(params.get(run.name, {}))
+                ): run
+                for run in ordered
+            }
+            for future in concurrent.futures.as_completed(futures):
+                run = futures[future]
+                record, error = None, None
+                try:
+                    record = future.result()
+                except Exception:
+                    error = traceback.format_exc()
+                self._finish(run, record, error, cache, stats)
+
+    def _run_inline(self, run: ExperimentRun, params: Dict[str, Dict[str, Any]]):
+        try:
+            return _execute_one(run.name, run.seed, dict(params.get(run.name, {}))), None
+        except Exception:
+            return None, traceback.format_exc()
+
+    def _finish(
+        self,
+        run: ExperimentRun,
+        record: Optional[dict],
+        error: Optional[str],
+        cache: result_cache.ResultCache,
+        stats: Stats,
+    ) -> None:
+        if record is None:
+            run.status = STATUS_FAILED
+            run.error = error or "unknown failure"
+            stats.add("experiments.failed")
+            self._log(f"[FAILED] {run.name}\n{run.error}")
+            return
+        run.status = STATUS_EXECUTED
+        run.text = record["text"]
+        run.summary = record["summary"]
+        run.elapsed_s = record["elapsed_s"]
+        run.artifact = save_result(run.name, run.text)
+        stats.add("experiments.executed")
+        stats.add("experiments.executed_s", run.elapsed_s)
+        if self.use_cache:
+            cache.store(
+                result_cache.CacheEntry(
+                    name=run.name,
+                    key=run.cache_key,
+                    text=run.text,
+                    elapsed_s=run.elapsed_s,
+                    seed=run.seed,
+                    params=run.params,
+                    summary=run.summary,
+                )
+            )
+        self._log(f"[{run.elapsed_s:6.1f}s] {run.artifact}")
+        if self.show_text:
+            self._log(run.text + "\n")
+
+
+def clean(remove_cache: bool = True) -> List[str]:
+    """Delete rendered artifacts, the manifest, and (optionally) the cache.
+
+    Only touches files the orchestrator itself writes; returns their paths.
+    """
+    removed: List[str] = []
+    root = results_dir()
+    REGISTRY.load_all()
+    known = set(REGISTRY.names())
+    for filename in sorted(os.listdir(root)):
+        path = os.path.join(root, filename)
+        is_artifact = filename.endswith(".txt") and filename[: -len(".txt")] in known
+        if is_artifact or filename == "manifest.json":
+            os.unlink(path)
+            removed.append(path)
+    if remove_cache:
+        cache = result_cache.ResultCache()
+        count = cache.clear()
+        if count:
+            removed.append(f"{cache.root} ({count} entries)")
+        if os.path.isdir(cache.root) and not os.listdir(cache.root):
+            os.rmdir(cache.root)
+    return removed

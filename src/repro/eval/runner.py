@@ -1,58 +1,35 @@
-"""Regenerate every table and figure into ``results/``.
+"""Backward-compatible serial runner (thin shim over the orchestrator).
 
-Run as ``python -m repro.eval.runner``; EXPERIMENTS.md references the
-outputs.
+``python -m repro.eval.runner`` regenerates every paper figure/table into
+``results/`` exactly as before; the real scheduler now lives in
+:mod:`repro.eval.orchestrator` and is driven by ``python -m repro run``
+(parallel, cached — see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
 
 import sys
-import time
 
-from repro.eval import tables_12
-from repro.eval import (
-    fig03_adam_slowdown,
-    fig04_tensor_stats,
-    fig05_breakdown,
-    fig16_overall,
-    fig17_breakdown,
-    fig18_hit_rate,
-    fig19_cpu_perf,
-    fig20_mac_granularity,
-    fig21_comm,
-)
-from repro.eval.tables import save_result
+from repro.eval.orchestrator import Orchestrator
+from repro.eval.registry import PAPER_TAG
 
 
 def run_all(verbose: bool = True) -> dict:
-    """Run every experiment; returns {name: rendered text}."""
-    experiments = {
-        "table1_config": lambda: tables_12.render_table1(),
-        "table2_workloads": lambda: tables_12.render_table2(),
-        "hw_overhead": lambda: tables_12.render_hw_overhead(),
-        "fig03_adam_slowdown": lambda: fig03_adam_slowdown.render(fig03_adam_slowdown.run()),
-        "fig04_tensor_stats": lambda: fig04_tensor_stats.render(fig04_tensor_stats.run()),
-        "fig05_breakdown": lambda: fig05_breakdown.render(fig05_breakdown.run()),
-        "fig16_overall": lambda: fig16_overall.render(fig16_overall.run()),
-        "fig17_breakdown": lambda: fig17_breakdown.render(fig17_breakdown.run()),
-        "fig18_hit_rate": lambda: fig18_hit_rate.render(fig18_hit_rate.run()),
-        "fig19_cpu_perf": lambda: fig19_cpu_perf.render(fig19_cpu_perf.run()),
-        "fig20_mac_granularity": lambda: fig20_mac_granularity.render(
-            fig20_mac_granularity.run()
-        ),
-        "fig21_comm": lambda: fig21_comm.render(fig21_comm.run()),
-    }
-    rendered = {}
-    for name, job in experiments.items():
-        start = time.time()
-        text = job()
-        rendered[name] = text
-        path = save_result(name, text)
-        if verbose:
-            print(f"[{time.time() - start:6.1f}s] {path}")
-            print(text)
-            print()
-    return rendered
+    """Run every paper experiment serially; returns {name: rendered text}.
+
+    Caching is disabled so the shim always re-executes, matching the
+    original runner's behavior.
+    """
+    orchestrator = Orchestrator(
+        jobs=1, use_cache=False, verbose=verbose, show_text=verbose
+    )
+    report = orchestrator.run(tags=(PAPER_TAG,), write_manifest=True)
+    if not report.ok:
+        raise RuntimeError(
+            "experiments failed: "
+            + ", ".join(r.name for r in report.runs if r.error is not None)
+        )
+    return report.rendered()
 
 
 if __name__ == "__main__":

@@ -21,10 +21,16 @@ def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str
 
 
 def results_dir() -> str:
-    """The repo-level results directory (created on demand)."""
-    here = os.path.dirname(os.path.abspath(__file__))
-    repo = os.path.abspath(os.path.join(here, "..", "..", ".."))
-    path = os.path.join(repo, "results")
+    """The results directory (created on demand).
+
+    ``REPRO_RESULTS_DIR`` overrides the default repo-level ``results/`` —
+    the orchestrator's tests and CI shards use it for isolated output trees.
+    """
+    path = os.environ.get("REPRO_RESULTS_DIR")
+    if not path:
+        here = os.path.dirname(os.path.abspath(__file__))
+        repo = os.path.abspath(os.path.join(here, "..", "..", ".."))
+        path = os.path.join(repo, "results")
     os.makedirs(path, exist_ok=True)
     return path
 

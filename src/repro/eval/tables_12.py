@@ -4,12 +4,14 @@ from __future__ import annotations
 
 from repro.core.hw_cost import HardwareBudget
 from repro.cpu.config import CpuConfig
-from repro.eval.tables import ascii_table, fmt
+from repro.eval.registry import experiment
+from repro.eval.tables import ascii_table
 from repro.npu.config import NpuConfig
-from repro.units import GiB, KiB, MiB
+from repro.units import KiB, MiB
 from repro.workloads.models import MODEL_ZOO
 
 
+@experiment("table1_config", tags=("paper", "table"), cost="fast", render=None)
 def render_table1() -> str:
     cpu, npu = CpuConfig(), NpuConfig()
     rows = [
@@ -29,6 +31,7 @@ def render_table1() -> str:
     return "Table 1 — system configuration\n\n" + ascii_table(["item", "value"], rows)
 
 
+@experiment("table2_workloads", tags=("paper", "table"), cost="fast", render=None)
 def render_table2() -> str:
     rows = [
         (m.name, f"{m.paper_params / 1e6:.0f}M", m.batch_size,
@@ -41,6 +44,7 @@ def render_table2() -> str:
     )
 
 
+@experiment("hw_overhead", tags=("paper", "table"), cost="fast", render=None)
 def render_hw_overhead() -> str:
     budget = HardwareBudget()
     rows = [(k, f"{v:.0f} B") for k, v in budget.components_bytes().items()]

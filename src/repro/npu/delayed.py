@@ -18,7 +18,7 @@ The functional engine behind Fig. 13c / Fig. 14:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.crypto.mac import TensorMacAccumulator

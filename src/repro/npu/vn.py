@@ -7,7 +7,7 @@ Merkle tree are needed because the table never leaves the chip.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import ConfigError

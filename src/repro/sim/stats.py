@@ -72,6 +72,11 @@ class Stats:
             child = self._children[child_name]
             yield from child.flat(prefix=f"{base}.{child_name}")
 
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to ``{dotted.name: value}`` for machine-readable reports
+        (the orchestrator embeds this in ``results/manifest.json``)."""
+        return dict(self.flat())
+
     def report(self) -> str:
         """Render a sorted ``name = value`` listing."""
         lines = [f"{name} = {value:g}" for name, value in self.flat()]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.crypto.attestation import AttestationReport, Attestor, measure
+from repro.crypto.attestation import Attestor, measure
 from repro.crypto.keys import DiffieHellman, derive_key
 from repro.errors import AttestationError, EnclaveError
 

@@ -7,7 +7,7 @@ line streams, per-thread shards, and 2D tile walks (for GEMM workloads).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.errors import ConfigError

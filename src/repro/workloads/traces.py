@@ -18,8 +18,8 @@ preserving stream structure (see DESIGN.md Sec. 2).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.trace import AccessKind, MemAccess

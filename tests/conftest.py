@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.mem.mee import FunctionalMee
-from repro.tensor.dtype import DType
 from repro.tensor.registry import TensorRegistry
 from repro.units import KiB
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.config import (
-    SystemConfig,
     SystemMode,
     baseline_system,
     non_secure_system,
@@ -40,6 +39,7 @@ class TestStageBreakdown:
 
 
 class TestSystemDispatch:
+    @pytest.mark.slow
     def test_compare_modes_returns_all_labels(self):
         model = model_by_name("GPT")
         results = compare_modes(
@@ -68,6 +68,7 @@ class TestSystemDispatch:
         assert ours.npu_s > ns.npu_s
         assert base.npu_s == pytest.approx(ours.npu_s, rel=0.05)
 
+    @pytest.mark.slow
     def test_baseline_comm_never_overlaps(self):
         model = model_by_name("GPT2-M")
         base = CollaborativeSystem(baseline_system()).iteration_breakdown(model)

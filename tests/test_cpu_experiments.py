@@ -39,6 +39,7 @@ class TestTimingModel:
         t8 = adam_latency(cpu_config, P, 8, non_secure_costs()).total_s
         assert 3.0 < t1 / t8 < 8.0
 
+    @pytest.mark.slow
     def test_sgx_slowdown_grows_with_threads(self, cpu_config):
         s4 = slowdown(cpu_config, P, 4, sgx_costs(cpu_config, threads=4))
         s8 = slowdown(cpu_config, P, 8, sgx_costs(cpu_config, threads=8))

@@ -7,12 +7,11 @@ import pytest
 from repro.eval import (
     fig03_adam_slowdown,
     fig04_tensor_stats,
-    fig05_breakdown,
     fig16_overall,
     fig20_mac_granularity,
     tables_12,
 )
-from repro.eval.tables import ascii_table, fmt, pct, results_dir, save_result
+from repro.eval.tables import ascii_table, fmt, pct, save_result
 from repro.workloads.models import MODEL_ZOO
 
 
@@ -39,6 +38,7 @@ class TestTables:
 
 
 class TestFigureGenerators:
+    @pytest.mark.slow
     def test_fig03_rows_cover_thread_range(self):
         result = fig03_adam_slowdown.run(n_params=50_000_000, max_threads=4)
         assert [r.threads for r in result.rows] == [1, 2, 3, 4]
@@ -49,6 +49,7 @@ class TestFigureGenerators:
         assert len(result.rows) == 3
         assert all(r.mean_tensor_mib > 0 for r in result.rows)
 
+    @pytest.mark.slow
     def test_fig16_small_subset_consistent(self):
         result = fig16_overall.run(models=SMALL)
         for row in result.rows:

@@ -1,6 +1,5 @@
 """Cross-cutting property tests on the core security invariants."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

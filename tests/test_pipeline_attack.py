@@ -13,7 +13,6 @@ from repro.npu.pipeline import (
 from repro.tee.attack import Adversary
 from repro.tee.device import CpuSecureDevice
 from repro.tensor.dtype import DType
-from repro.units import KiB
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,6 @@ paper-vs-measured numbers).
 import pytest
 
 from repro.core.config import (
-    SystemMode,
     baseline_system,
     non_secure_system,
     tensortee_system,
@@ -17,7 +16,10 @@ from repro.core.hw_cost import HardwareBudget
 from repro.core.system import CollaborativeSystem
 from repro.eval import fig20_mac_granularity
 from repro.eval.tables import ascii_table
-from repro.workloads.models import MODEL_ZOO, model_by_name
+from repro.workloads.models import MODEL_ZOO
+
+# Regenerates full-zoo breakdowns for every mode: multi-second setup.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,6 @@ from repro.errors import ConfigError
 from repro.tensor.dtype import DType
 from repro.tensor.registry import TensorRegistry
 from repro.tensor.tensor import TensorDesc
-from repro.units import CACHELINE_BYTES
 
 
 class TestTensorDesc:

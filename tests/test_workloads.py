@@ -3,9 +3,6 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.sim.trace import AccessKind
-from repro.tensor.registry import TensorRegistry
-from repro.units import KiB
 from repro.workloads.models import MODEL_ZOO, model_by_name
 from repro.workloads.traces import (
     AdamTraceConfig,
