@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro {run,list,clean}``.
+"""Command-line interface: ``python -m repro {run,list,clean,bench}``.
 
 Examples::
 
@@ -7,13 +7,16 @@ Examples::
     python -m repro run --only fig16_overall,fig17_breakdown --no-cache
     python -m repro run --tag paper --json
     python -m repro clean
+    python -m repro bench --quick
+    python -m repro bench --quick --compare benchmarks/baseline.json --threshold 1.25
 
-See EXPERIMENTS.md for the experiment catalogue.
+See EXPERIMENTS.md for the experiment catalogue and the bench JSON schema.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -79,6 +82,37 @@ def build_parser() -> argparse.ArgumentParser:
     cln.add_argument(
         "--keep-cache", action="store_true", help="leave the result cache in place"
     )
+
+    bench = sub.add_parser("bench", help="run microbenchmarks (vector vs scalar)")
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller problem sizes and fewer repeats (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="report path (default: BENCH_<timestamp>.json in the cwd)",
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="NAME[,NAME...]",
+        help="run only these benchmarks (repeatable or comma-separated)",
+    )
+    bench.add_argument(
+        "--tag", action="append", default=[], metavar="TAG[,TAG...]",
+        help="run only benchmarks carrying every given tag",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare medians against a previous BENCH json; regressions exit 1",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="regression threshold for --compare (default: 1.25x slower)",
+    )
+    bench.add_argument("--list", action="store_true", help="list benchmarks and exit")
+    bench.add_argument("--quiet", "-q", action="store_true", help="no progress lines")
     return parser
 
 
@@ -129,9 +163,65 @@ def cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.harness import compare_reports, run_benchmarks, validate_report
+    from repro.perf.registry import BENCH_REGISTRY
+
+    specs = BENCH_REGISTRY.select(only=_split_names(args.only), tags=_split_names(args.tag))
+    if args.list:
+        width = max((len(s.name) for s in specs), default=0)
+        for spec in specs:
+            mode = "vector+scalar" if spec.paired else "single"
+            print(f"{spec.name:<{width}}  [{mode}] ({','.join(spec.tags)}) {spec.description}")
+        return 0
+    if not specs:
+        print("error: no benchmarks selected", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    report = run_benchmarks(specs, quick=args.quick, progress=progress)
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid report: {problem}", file=sys.stderr)
+        return 2
+    path = args.json
+    if path is None:
+        stamp = datetime.datetime.now(datetime.timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+        path = f"BENCH_{stamp}.json"
+    try:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+    except OSError as exc:
+        raise ConfigError(f"cannot write report {path!r}: {exc}") from exc
+    if not args.quiet:
+        print(f"report: {path}")
+    if args.compare is not None:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as exc:
+            raise ConfigError(f"cannot read baseline {args.compare!r}: {exc}") from exc
+        lines, regressions = compare_reports(report, baseline, threshold=args.threshold)
+        for line in lines:
+            print(line)
+        if regressions:
+            print(
+                f"{len(regressions)} regression(s) beyond {args.threshold:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handler = {"run": cmd_run, "list": cmd_list, "clean": cmd_clean}[args.command]
+    handler = {
+        "run": cmd_run,
+        "list": cmd_list,
+        "clean": cmd_clean,
+        "bench": cmd_bench,
+    }[args.command]
     try:
         return handler(args)
     except ConfigError as exc:

@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.cpu.tenanalyzer.entry import MetaTableEntry, WriteOutcomeKind
 from repro.cpu.tenanalyzer.meta_table import LookupKind, MetaTable
-from repro.cpu.tenanalyzer.tensor_filter import TensorFilter
+from repro.cpu.tenanalyzer.tensor_filter import TensorFilter, detect_streams
 from repro.cpu.tenanalyzer.vn_store import OffChipVnStore
 from repro.errors import ConfigError
 from repro.sim.stats import Stats
@@ -207,11 +207,33 @@ class TenAnalyzer:
             count=1,
             extensible_run=True,
         )
-        for i in range(n_lines):
-            self.vn_store.set(base_va + i * LINE, vn)
+        self.vn_store.set_range(base_va, n_lines, vn)
         entry = self.table.insert(geometry, vn=vn, source="transfer")
         self.stats.add("transfer_installs")
         return entry
+
+    def prime_from_trace(
+        self, vaddrs: Sequence[int], vns: Optional[Sequence[int]] = None
+    ) -> int:
+        """Batch cold-start detection over a recorded miss trace.
+
+        Scans the whole (address, VN) stream for the tensor condition in
+        one pass (:func:`detect_streams`) instead of feeding the Tensor
+        Filter one miss at a time, then installs an entry per detected
+        stream. ``vns=None`` reads the off-chip store. Returns how many
+        entries were installed.
+        """
+        if not self.enabled:
+            return 0
+        if vns is None:
+            vns = self.vn_store.read_many(vaddrs)
+        installed = 0
+        for geometry, vn in detect_streams(vaddrs, vns, self.filter.collect_target):
+            self.table.insert(geometry, vn=vn, source="scan")
+            self.filter.drop_covering(geometry.base_va)
+            installed += 1
+            self.stats.add("trace_primes")
+        return installed
 
     def fold_mac(self, vaddr: int, mac_delta: int) -> bool:
         """XOR a line-MAC delta into the covering entry's tensor MAC.

@@ -11,13 +11,67 @@ tensors concurrently; LRU eviction discards noise streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from repro import vec
 from repro.cpu.tenanalyzer.entry import EntryGeometry
 from repro.sim.stats import Stats
 from repro.units import CACHELINE_BYTES
 
 LINE = CACHELINE_BYTES
+
+
+def detect_streams(
+    vaddrs: Sequence[int], vns: Sequence[int], min_run: int = 4
+) -> List[tuple[EntryGeometry, int]]:
+    """Batch tensor-condition scan over a whole (address, VN) trace.
+
+    Finds every maximal run of line-contiguous addresses sharing one VN —
+    the same condition :meth:`TensorFilter.observe` checks one miss at a
+    time — and returns ``(geometry, vn)`` per run of at least ``min_run``
+    lines. The batched path reduces the scan to two array diffs; the
+    scalar path is the reference loop.
+    """
+    if len(vaddrs) != len(vns):
+        raise ValueError("vaddrs and vns must pair up one per access")
+    total = len(vaddrs)
+    if total == 0:
+        return []
+
+    def stream(start: int, run: int) -> tuple[EntryGeometry, int]:
+        geometry = EntryGeometry(
+            base_va=vaddrs[start],
+            run_lines=run,
+            stride_lines=run,
+            count=1,
+            extensible_run=True,
+        )
+        return geometry, vns[start]
+
+    if vec.enabled():
+        np = vec.np
+        va = np.asarray(vaddrs, dtype=np.int64)
+        vn = np.asarray(vns, dtype=np.int64)
+        breaks = np.flatnonzero((np.diff(va) != LINE) | (np.diff(vn) != 0))
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks + 1, [total]))
+        runs = ends - starts
+        keep = np.flatnonzero(runs >= min_run)
+        return [stream(int(starts[i]), int(runs[i])) for i in keep]
+
+    streams: List[tuple[EntryGeometry, int]] = []
+    start = 0
+    for i in range(1, total + 1):
+        broken = (
+            i == total
+            or vaddrs[i] != vaddrs[i - 1] + LINE
+            or vns[i] != vns[i - 1]
+        )
+        if broken:
+            if i - start >= min_run:
+                streams.append(stream(start, i - start))
+            start = i
+    return streams
 
 
 @dataclass

@@ -9,7 +9,7 @@ always fall back to the off-chip value for uncovered lines.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Sequence
 
 from repro.units import CACHELINE_BYTES
 
@@ -48,9 +48,21 @@ class OffChipVnStore:
                 changed += 1
         return changed
 
+    def read_many(self, vaddrs: Sequence[int]) -> List[int]:
+        """Current VNs for a whole trace of addresses (batch-scan helper)."""
+        get = self._vn.get
+        line = CACHELINE_BYTES
+        return [get(vaddr - vaddr % line, 0) for vaddr in vaddrs]
+
     def set(self, vaddr: int, vn: int) -> None:
         """Directly set a line's VN (used by transfer-descriptor installs)."""
         self._vn[self._line(vaddr)] = vn
+
+    def set_range(self, base_va: int, n_lines: int, vn: int) -> None:
+        """Set ``n_lines`` consecutive lines to ``vn`` in one update."""
+        base = self._line(base_va)
+        line = CACHELINE_BYTES
+        self._vn.update((base + i * line, vn) for i in range(n_lines))
 
     @property
     def tracked_lines(self) -> int:

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Iterable
+from typing import Iterable, List, Sequence
 
+from repro import vec
 from repro.errors import ConfigError
 from repro.units import MAC_BITS
 
@@ -39,9 +40,39 @@ class MacEngine:
         h.update(payload)
         return int.from_bytes(h.digest(), "big")
 
+    def line_macs(
+        self, ciphertexts: bytes, line_bytes: int, pas: Sequence[int], vns: Sequence[int]
+    ) -> List[int]:
+        """Per-line MACs for a concatenation of lines (bulk-path helper).
+
+        The keyed hash itself is C-speed and per-line by construction, so
+        this is a convenience batch API rather than a vectorization point;
+        it exists so the MEE bulk paths have one call per stream.
+        """
+        if len(pas) != len(vns):
+            raise ConfigError("pas and vns must pair up one per line")
+        if len(ciphertexts) != len(pas) * line_bytes:
+            raise ConfigError(
+                f"batch must be {len(pas)} lines of {line_bytes} bytes, "
+                f"got {len(ciphertexts)} bytes"
+            )
+        line_mac = self.line_mac
+        return [
+            line_mac(ciphertexts[i * line_bytes : (i + 1) * line_bytes], pa, vn)
+            for i, (pa, vn) in enumerate(zip(pas, vns))
+        ]
+
 
 def xor_macs(macs: Iterable[int]) -> int:
     """Fold per-line MACs into a tensor MAC: ``MAC_0 ^ MAC_1 ^ ...``."""
+    if vec.enabled():
+        seq = macs if isinstance(macs, (list, tuple)) else list(macs)
+        if seq:
+            np = vec.np
+            return int(
+                np.bitwise_xor.reduce(np.asarray(seq, dtype=np.uint64))
+            )
+        return 0
     acc = 0
     for mac in macs:
         acc ^= mac
@@ -74,6 +105,11 @@ class TensorMacAccumulator:
         """Fold one cacheline MAC into the accumulator."""
         self.value ^= line_mac
         self.absorbed += 1
+
+    def absorb_many(self, line_macs: Sequence[int]) -> None:
+        """Fold a whole stream of line MACs at once (order-insensitive)."""
+        self.value ^= xor_macs(line_macs)
+        self.absorbed += len(line_macs)
 
     @property
     def complete(self) -> bool:

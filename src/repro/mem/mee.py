@@ -15,7 +15,7 @@ VN store or the tree, and reads must raise.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.ctr import CounterModeCipher
 from repro.crypto.mac import MacEngine
@@ -113,6 +113,47 @@ class FunctionalMee:
         self.stats.add("writes")
         return old_mac, new_mac
 
+    def write_lines(
+        self,
+        vaddrs: Sequence[int],
+        plaintexts: bytes,
+        vn: Optional[int] = None,
+    ) -> Tuple[List[int], List[int]]:
+        """Encrypt and store a whole stream of lines in one batch.
+
+        ``plaintexts`` concatenates one full line per address; ``vn`` is
+        the shared tensor VN (``None`` bumps each line's own VN, as in
+        :meth:`write_line`). Returns the per-line ``(old_macs, new_macs)``
+        lists. End state (DRAM, VN/MAC stores, Merkle tree, stats) is
+        identical to a :meth:`write_line` loop; the batch encrypts all
+        lines through one keystream call and touches each Merkle leaf
+        once instead of once per line.
+        """
+        if len(plaintexts) != len(vaddrs) * LINE:
+            raise ConfigError(
+                f"{self.name}: batch must be {len(vaddrs)} lines of {LINE} bytes"
+            )
+        pas = [self._pa_of(vaddr) for vaddr in vaddrs]
+        indices = [self._line_index(pa) for pa in pas]
+        vns: List[int] = []
+        for index in indices:
+            line_vn = self.vn_store.get(index, 0) + 1 if vn is None else vn
+            self.vn_store[index] = line_vn
+            vns.append(line_vn)
+        ciphertexts = self.cipher.encrypt_lines(plaintexts, pas, vns)
+        new_macs = self.mac.line_macs(ciphertexts, LINE, pas, vns)
+        old_macs: List[int] = []
+        dram_write = self.dram.write_line
+        for i, (pa, index) in enumerate(zip(pas, indices)):
+            old_macs.append(self.mac_store.get(index, 0))
+            self.mac_store[index] = new_macs[i]
+            dram_write(pa, ciphertexts[i * LINE : (i + 1) * LINE])
+        if self.merkle is not None:
+            for leaf in sorted({index // VNS_PER_LEAF for index in indices}):
+                self.merkle.update_leaf(leaf, self._leaf_payload(leaf))
+        self.stats.add("writes", len(vaddrs))
+        return old_macs, new_macs
+
     # -- read path ----------------------------------------------------------------
 
     def read_line(
@@ -154,6 +195,40 @@ class FunctionalMee:
         self.stats.add("reads")
         return self.cipher.decrypt_line(ciphertext, pa, vn)
 
+    def read_lines(
+        self,
+        vaddrs: Sequence[int],
+        vn: Optional[int] = None,
+        verify: bool = True,
+    ) -> bytes:
+        """Fetch, verify and decrypt a whole stream of lines in one batch.
+
+        Same semantics per line as :meth:`read_line` (shared tensor ``vn``
+        or per-line off-chip VN with Merkle authentication); the batch
+        decrypts every line through one keystream call. Verification
+        failures re-raise through the scalar path so the replay/tamper
+        classification is identical.
+        """
+        pas = [self._pa_of(vaddr) for vaddr in vaddrs]
+        indices = [self._line_index(pa) for pa in pas]
+        if vn is None:
+            if self.merkle is not None:
+                for leaf in sorted({index // VNS_PER_LEAF for index in indices}):
+                    self.merkle.verify_leaf(leaf, self._leaf_payload(leaf))
+            vns = [self.vn_store.get(index, 0) for index in indices]
+        else:
+            vns = [vn] * len(vaddrs)
+        dram_read = self.dram.read_line
+        ciphertexts = b"".join(dram_read(pa) for pa in pas)
+        if verify:
+            actual = self.mac.line_macs(ciphertexts, LINE, pas, vns)
+            for i, index in enumerate(indices):
+                if actual[i] != self.mac_store.get(index, 0):
+                    # Replay the scalar read for its exact failure taxonomy.
+                    self.read_line(vaddrs[i], vn=vn, verify=True)
+        self.stats.add("reads", len(vaddrs))
+        return self.cipher.decrypt_lines(ciphertexts, pas, vns)
+
     def _stale_mac(self, ciphertext: bytes, pa: int, vn: int, stored_mac: int) -> bool:
         """Heuristic replay classification: does the pair verify under an
         older VN? (Diagnostic only — both cases are rejected either way.)"""
@@ -172,6 +247,13 @@ class FunctionalMee:
         pa = self._pa_of(vaddr)
         ciphertext = self.dram.read_line(pa)
         return self.mac.line_mac(ciphertext, pa, vn)
+
+    def line_macs_of(self, vaddrs: Sequence[int], vn: int) -> List[int]:
+        """Batch :meth:`line_mac_of`: stored-ciphertext MACs under ``vn``."""
+        pas = [self._pa_of(vaddr) for vaddr in vaddrs]
+        dram_read = self.dram.read_line
+        ciphertexts = b"".join(dram_read(pa) for pa in pas)
+        return self.mac.line_macs(ciphertexts, LINE, pas, [vn] * len(pas))
 
     def stored_mac(self, vaddr: int) -> int:
         """The off-chip stored MAC for a line (trusted-channel metadata)."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.crypto.mac import TensorMacAccumulator
+from repro.crypto.mac import TensorMacAccumulator, xor_macs
 from repro.errors import (
     CodeIntegrityError,
     ConfigError,
@@ -79,12 +79,10 @@ class DelayedVerificationEngine:
                 f"{tensor.name}: payload is {len(data)} bytes, tensor needs {tensor.nbytes}"
             )
         vn = self.vn_table.begin_write(tensor)
-        tensor_mac = 0
-        for i, vaddr in enumerate(tensor.line_addresses()):
-            chunk = data[i * LINE : (i + 1) * LINE].ljust(LINE, b"\x00")
-            _, new_mac = self.mee.write_line(vaddr, chunk, vn=vn)
-            tensor_mac ^= new_mac
-        self.mac_table.set_mac(tensor.tensor_id, tensor_mac)
+        vaddrs = list(tensor.line_addresses())
+        padded = data.ljust(len(vaddrs) * LINE, b"\x00")
+        _, new_macs = self.mee.write_lines(vaddrs, padded, vn=vn)
+        self.mac_table.set_mac(tensor.tensor_id, xor_macs(new_macs))
         self.stats.add("tensor_writes")
 
     # -- read path (delayed) --------------------------------------------------
@@ -103,16 +101,15 @@ class DelayedVerificationEngine:
             self.poll_verification()
         vn = self.vn_table.vn_of(tensor)
         accumulator = TensorMacAccumulator(expected_lines=tensor.n_lines)
-        chunks: List[bytes] = []
-        for vaddr in tensor.line_addresses():
-            chunks.append(self.mee.read_line(vaddr, vn=vn, verify=False))
-            accumulator.absorb(self.mee.line_mac_of(vaddr, vn))
+        vaddrs = list(tensor.line_addresses())
+        plaintext = self.mee.read_lines(vaddrs, vn=vn, verify=False)
+        accumulator.absorb_many(self.mee.line_macs_of(vaddrs, vn))
         self._pending[tensor.tensor_id] = PendingVerification(
             tensor_id=tensor.tensor_id, accumulator=accumulator, vn=vn
         )
         self.mac_table.set_poison(tensor.tensor_id, True)
         self.stats.add("delayed_reads")
-        return b"".join(chunks)[: tensor.nbytes]
+        return plaintext[: tensor.nbytes]
 
     def read_code_line(self, vaddr: int) -> bytes:
         """Instruction fetch: strict, non-delayed verification (Sec. 4.3).

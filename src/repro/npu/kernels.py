@@ -12,7 +12,13 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.npu.config import NpuConfig
-from repro.npu.systolic import GemmShape, KernelTime, elementwise_time, gemm_time
+from repro.npu.systolic import (
+    GemmShape,
+    KernelTime,
+    elementwise_time,
+    gemm_time,
+    gemm_times,
+)
 from repro.workloads.models import ModelConfig
 
 
@@ -67,16 +73,17 @@ def iteration_kernels(config: NpuConfig, model: ModelConfig) -> List[KernelRecor
     tokens = model.tokens_per_batch
     records: List[KernelRecord] = []
     per_layer = layer_gemms(model, tokens)
+    # Every layer schedules the same GEMM shapes (and backward reuses the
+    # forward roofline), so one batched sweep times them all.
+    per_layer_times = gemm_times(config, [shape for _, shape in per_layer])
     attn = fused_attention_time(config, model)
     attn_io = 4.0 * tokens * model.hidden * 2
     for layer in range(model.n_layers):
-        for name, shape in per_layer:
-            fwd = gemm_time(config, shape)
-            records.append(KernelRecord(f"l{layer}.{name}.fwd", fwd, shape.io_bytes()))
+        for (name, shape), gemm in zip(per_layer, per_layer_times):
+            records.append(KernelRecord(f"l{layer}.{name}.fwd", gemm, shape.io_bytes()))
             for direction in ("bwd_data", "bwd_weight"):
-                bwd = gemm_time(config, shape)
                 records.append(
-                    KernelRecord(f"l{layer}.{name}.{direction}", bwd, shape.io_bytes())
+                    KernelRecord(f"l{layer}.{name}.{direction}", gemm, shape.io_bytes())
                 )
         for direction in ("fwd", "bwd"):
             scale = 1.0 if direction == "fwd" else 2.0

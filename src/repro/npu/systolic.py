@@ -9,9 +9,14 @@ with automatic tiling handled implicitly by the scratchpad double-buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
+from repro import vec
 from repro.errors import ConfigError
 from repro.npu.config import NpuConfig
+
+#: Per-output-tile swap overhead of the back-to-back tile pipeline.
+TILE_SWAP_CYCLES = 32
 
 
 @dataclass(frozen=True)
@@ -60,11 +65,40 @@ def gemm_time(config: NpuConfig, shape: GemmShape, elem_bytes: int = 2) -> Kerne
     # Output-stationary with back-to-back tile pipelining: successive output
     # tiles overlap fill with the previous drain, leaving a modest per-tile
     # swap overhead plus one array fill+drain per kernel.
-    tile_swap_cycles = 32
-    cycles = row_tiles * col_tiles * (shape.k + tile_swap_cycles) + rows + cols
+    cycles = row_tiles * col_tiles * (shape.k + TILE_SWAP_CYCLES) + rows + cols
     compute_s = cycles / (config.freq_hz * config.compute_efficiency)
     io_s = shape.io_bytes(elem_bytes) / config.dram.effective_stream_bw
     return KernelTime(compute_s=compute_s, io_s=io_s)
+
+
+def gemm_times(
+    config: NpuConfig, shapes: Sequence[GemmShape], elem_bytes: int = 2
+) -> List[KernelTime]:
+    """Roofline times of many GEMMs in one batched sweep.
+
+    Bit-identical to a :func:`gemm_time` loop (same integer cycle counts,
+    same float64 divisions); the batched path evaluates the whole shape
+    sweep as array arithmetic, which is what the granularity/ablation
+    sweeps and the kernel scheduler iterate over.
+    """
+    if not vec.enabled():
+        return [gemm_time(config, shape, elem_bytes) for shape in shapes]
+    if not shapes:
+        return []
+    np = vec.np
+    m = np.array([s.m for s in shapes], dtype=np.int64)
+    n = np.array([s.n for s in shapes], dtype=np.int64)
+    k = np.array([s.k for s in shapes], dtype=np.int64)
+    rows, cols = config.pe_rows, config.pe_cols
+    row_tiles = (m + rows - 1) // rows
+    col_tiles = (n + cols - 1) // cols
+    cycles = row_tiles * col_tiles * (k + TILE_SWAP_CYCLES) + rows + cols
+    compute_s = cycles / (config.freq_hz * config.compute_efficiency)
+    io_s = (elem_bytes * (m * k + k * n + m * n)) / config.dram.effective_stream_bw
+    return [
+        KernelTime(compute_s=float(c), io_s=float(i))
+        for c, i in zip(compute_s, io_s)
+    ]
 
 
 def elementwise_time(config: NpuConfig, n_elements: int, elem_bytes: int = 2) -> KernelTime:

@@ -1,0 +1,63 @@
+"""Vectorization gate: one switch for every batched-NumPy fast path.
+
+The hot kernels (counter-mode keystreams, MEE line streams, MAC folding,
+tensor-analyzer trace scans, systolic roofline sweeps) each expose a batch
+API whose implementation is chosen here: a NumPy array program when NumPy
+is importable and vectorization is not disabled, otherwise the original
+per-element scalar loop. Both implementations are bit-identical on their
+outputs — the parity tests in ``tests/test_perf_bench.py`` enforce it —
+so the switch only ever changes speed, never results.
+
+Disabling:
+
+- environment: ``REPRO_NO_VECTORIZE=1`` (any value other than ``""``/``0``)
+  forces every batch API onto its scalar loop — the reference mode the
+  ``python -m repro bench`` harness measures speedups against;
+- in-process: the :func:`scalar_fallback` context manager does the same
+  reversibly (the bench harness and the parity tests use it so they do not
+  have to mutate ``os.environ``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+try:  # NumPy is optional: every batch API keeps a scalar fallback.
+    import numpy as np
+
+    HAVE_NUMPY = True
+    NUMPY_VERSION: Optional[str] = np.__version__
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+    NUMPY_VERSION = None
+
+#: Environment variable that forces the scalar reference paths.
+NO_VECTORIZE_ENV = "REPRO_NO_VECTORIZE"
+
+_forced_scalar_depth = 0
+
+
+def enabled() -> bool:
+    """True when batch APIs should take their NumPy implementation."""
+    if not HAVE_NUMPY or _forced_scalar_depth > 0:
+        return False
+    return os.environ.get(NO_VECTORIZE_ENV, "") in ("", "0")
+
+
+@contextmanager
+def scalar_fallback() -> Iterator[None]:
+    """Force the scalar reference loops for the duration of the block."""
+    global _forced_scalar_depth
+    _forced_scalar_depth += 1
+    try:
+        yield
+    finally:
+        _forced_scalar_depth -= 1
+
+
+def mode() -> str:
+    """``"vector"`` or ``"scalar"`` — what a batch API would pick now."""
+    return "vector" if enabled() else "scalar"
