@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro {run,list,clean,bench}``.
+"""Command-line interface: ``python -m repro {run,list,clean,bench,sweep,digest}``.
 
 Examples::
 
@@ -9,20 +9,26 @@ Examples::
     python -m repro clean
     python -m repro bench --quick
     python -m repro bench --quick --compare benchmarks/baseline.json --threshold 1.25
+    python -m repro sweep list
+    python -m repro sweep show mac_policy
+    python -m repro sweep run npu_scaling --jobs 4
+    python -m repro digest --check benchmarks/artifact_digests.json
 
-See EXPERIMENTS.md for the experiment catalogue and the bench JSON schema.
+See EXPERIMENTS.md for the experiment catalogue, the sweep-spec format and
+the bench JSON schema.
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime
+import hashlib
 import json
 import sys
 from typing import List, Optional, Sequence
 
 from repro.errors import ConfigError
-from repro.eval.orchestrator import Orchestrator, clean
+from repro.eval.orchestrator import Orchestrator, _execute_one, clean, derive_seed
 from repro.eval.registry import REGISTRY
 
 
@@ -113,10 +119,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--list", action="store_true", help="list benchmarks and exit")
     bench.add_argument("--quiet", "-q", action="store_true", help="no progress lines")
+
+    sweep = sub.add_parser("sweep", help="declarative parameter sweeps (sweeps/*.toml)")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser("run", help="expand a spec and run every point")
+    sweep_run.add_argument("spec", help="spec name under sweeps/ or a TOML path")
+    sweep_run.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = in-process serial)",
+    )
+    sweep_run.add_argument(
+        "--no-cache", action="store_true",
+        help="always execute, and do not store new cache entries",
+    )
+    sweep_run.add_argument(
+        "--quick", action="store_true",
+        help="truncate every axis to its first two values (CI smoke shape)",
+    )
+    sweep_run.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="cap the expanded matrix at its first N points",
+    )
+    sweep_run.add_argument(
+        "--json", action="store_true",
+        help="print the consolidated sweep document to stdout",
+    )
+    sweep_run.add_argument("--quiet", "-q", action="store_true", help="no progress lines")
+
+    sweep_list = sweep_sub.add_parser("list", help="list shipped sweep specs")
+    sweep_list.add_argument("--json", action="store_true", help="machine-readable listing")
+
+    sweep_show = sweep_sub.add_parser("show", help="print a spec's expanded matrix")
+    sweep_show.add_argument("spec", help="spec name under sweeps/ or a TOML path")
+    sweep_show.add_argument("--quick", action="store_true", help="apply the --quick truncation")
+    sweep_show.add_argument("--json", action="store_true", help="machine-readable matrix")
+
+    digest = sub.add_parser(
+        "digest", help="SHA-256 digests of rendered artifacts (CI drift tripwire)"
+    )
+    digest_mode = digest.add_mutually_exclusive_group(required=True)
+    digest_mode.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="regenerate the file's experiments and fail on any digest drift",
+    )
+    digest_mode.add_argument(
+        "--update", metavar="PATH", default=None,
+        help="write current digests to PATH (keeps its experiment set unless --only)",
+    )
+    digest.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="NAME[,NAME...]",
+        help="with --update: record exactly these experiments",
+    )
     return parser
 
 
+def _selection(only_args: Sequence[str], tag_args: Sequence[str]):
+    """Resolve --only/--tag into a non-empty experiment selection.
+
+    A flag that was given but names nothing, and a tag set no experiment
+    carries, both used to run the wrong thing silently (everything and
+    nothing respectively); they are hard errors listing the valid names.
+    """
+    only = _split_names(only_args)
+    tags = _split_names(tag_args)
+    if only_args and only is None:
+        raise ConfigError(
+            f"--only given but empty; known experiments: {', '.join(REGISTRY.names())}"
+        )
+    if tag_args and tags is None:
+        known_tags = sorted({t for s in REGISTRY.specs() for t in s.tags})
+        raise ConfigError(f"--tag given but empty; known tags: {', '.join(known_tags)}")
+    if not REGISTRY.select(only=only, tags=tags):
+        known_tags = sorted({t for s in REGISTRY.specs() for t in s.tags})
+        raise ConfigError(
+            f"selection matches no experiments (only={only}, tags={tags}); "
+            f"known experiments: {', '.join(REGISTRY.names())}; "
+            f"known tags: {', '.join(known_tags)}"
+        )
+    return only, tags
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    only, tags = _selection(args.only, args.tag)
     orchestrator = Orchestrator(
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -124,9 +212,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         verbose=not (args.quiet or args.json),
         show_text=args.show_text,
     )
-    report = orchestrator.run(
-        only=_split_names(args.only), tags=_split_names(args.tag)
-    )
+    report = orchestrator.run(only=only, tags=tags)
     if args.json:
         json.dump(report.manifest(), sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -134,7 +220,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    specs = REGISTRY.select(tags=_split_names(args.tag))
+    _, tags = _selection([], args.tag)
+    specs = REGISTRY.select(tags=tags)
     if args.json:
         listing = [
             {
@@ -214,6 +301,141 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval import sweep as sweep_mod
+
+    if args.sweep_command == "list":
+        names = sweep_mod.available_specs()
+        if args.json:
+            listing = []
+            for name in names:
+                spec = sweep_mod.load_spec(name)
+                listing.append(
+                    {
+                        "name": spec.name,
+                        "experiment": spec.experiment,
+                        "mode": spec.mode,
+                        "points": spec.n_points(),
+                        "description": spec.description,
+                    }
+                )
+            json.dump(listing, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+            return 0
+        if not names:
+            print(f"no sweep specs under {sweep_mod.sweeps_dir()}")
+            return 0
+        width = max(len(n) for n in names)
+        for name in names:
+            spec = sweep_mod.load_spec(name)
+            print(
+                f"{name:<{width}}  {spec.experiment} [{spec.mode}] "
+                f"{spec.n_points()} points — {spec.description}"
+            )
+        return 0
+
+    spec = sweep_mod.load_spec(args.spec)
+    if args.sweep_command == "show":
+        points = sweep_mod.expand(spec, quick=args.quick)
+        if args.json:
+            matrix = [
+                {"point": p.point_id, "index": p.index, "coords": p.coords}
+                for p in points
+            ]
+            json.dump(
+                {"sweep": spec.name, "experiment": spec.experiment, "points": matrix},
+                sys.stdout,
+                indent=2,
+                default=repr,
+            )
+            sys.stdout.write("\n")
+            return 0
+        print(f"sweep {spec.name}: {spec.experiment} [{spec.mode}], {len(points)} points")
+        for point in points:
+            print(f"  {point.index:3d}  {point.point_id}")
+        return 0
+
+    result = sweep_mod.run_sweep(
+        spec,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        quick=args.quick,
+        limit=args.limit,
+        verbose=not (args.quiet or args.json),
+    )
+    if args.json:
+        json.dump(result.document(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    elif not args.quiet:
+        print()
+        print(result.table())
+        print(f"\nsweep: {result.json_path}\ncsv:   {result.csv_path}")
+    return 0 if result.ok else 1
+
+
+def artifact_digest(name: str) -> str:
+    """SHA-256 of one experiment's freshly rendered artifact file bytes.
+
+    Executes outside the result cache with the orchestrator's seed
+    derivation and applies ``save_result``'s trailing-newline
+    normalization, so the digest matches ``sha256sum results/<name>.txt``
+    after a ``repro run`` byte for byte.
+    """
+    record = _execute_one(name, derive_seed(0, name), {})
+    artifact_bytes = (record["text"].rstrip() + "\n").encode("utf-8")
+    return hashlib.sha256(artifact_bytes).hexdigest()
+
+
+def cmd_digest(args: argparse.Namespace) -> int:
+    path = args.check or args.update
+    only = _split_names(args.only)
+    if args.check and only:
+        raise ConfigError("--only is for --update; --check uses the file's set")
+    if args.update:
+        names = only
+        if names is None:
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    names = sorted(json.load(f).get("experiments", {}))
+            except (OSError, ValueError):
+                raise ConfigError(
+                    f"cannot read {path!r} to keep its experiment set; "
+                    "pass --only NAME[,NAME...] to choose one"
+                ) from None
+        digests = {name: artifact_digest(REGISTRY.get(name).name) for name in names}
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"schema": 1, "experiments": digests}, f, indent=2, sort_keys=True)
+            f.write("\n")
+        for name, value in sorted(digests.items()):
+            print(f"{name}: {value}")
+        print(f"wrote {path}")
+        return 0
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            recorded = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"cannot read digest file {path!r}: {exc}") from exc
+    expected = recorded.get("experiments", {})
+    if not expected:
+        raise ConfigError(f"digest file {path!r} records no experiments")
+    drifted = []
+    for name in sorted(expected):
+        actual = artifact_digest(REGISTRY.get(name).name)
+        if actual == expected[name]:
+            print(f"{name}: ok ({actual[:16]}…)")
+        else:
+            drifted.append(name)
+            print(f"{name}: DRIFT expected {expected[name]} got {actual}")
+    if drifted:
+        print(
+            f"{len(drifted)} artifact(s) drifted: {', '.join(drifted)}\n"
+            f"refresh with: python -m repro digest --update {path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -221,6 +443,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list": cmd_list,
         "clean": cmd_clean,
         "bench": cmd_bench,
+        "sweep": cmd_sweep,
+        "digest": cmd_digest,
     }[args.command]
     try:
         return handler(args)

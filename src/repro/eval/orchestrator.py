@@ -19,6 +19,7 @@ import hashlib
 import json
 import os
 import random
+import shutil
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -44,11 +45,30 @@ def derive_seed(run_seed: int, name: str) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
+@dataclass(frozen=True)
+class PointRequest:
+    """One scheduling request: an experiment at one parameter point.
+
+    ``label`` names the point in logs, the manifest and artifact paths;
+    it defaults to the experiment name and must be unique within a batch
+    (a sweep schedules many points of the *same* experiment, so its labels
+    carry the axis values).
+    """
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        return self.label or self.experiment
+
+
 @dataclass
 class ExperimentRun:
-    """Outcome of one scheduled experiment."""
+    """Outcome of one scheduled experiment (or sweep point)."""
 
-    name: str
+    name: str  #: display label (== experiment name outside sweeps)
     status: str
     elapsed_s: float  #: execution time (original run's time when cached)
     seed: int
@@ -56,14 +76,20 @@ class ExperimentRun:
     params: Dict[str, Any]
     tags: List[str]
     cost: str
+    experiment: str = ""  #: registry name (defaults to ``name``)
     text: str = ""
     artifact: Optional[str] = None
     error: Optional[str] = None
     summary: Optional[dict] = None
 
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            self.experiment = self.name
+
     def manifest_record(self) -> dict:
         return {
             "name": self.name,
+            "experiment": self.experiment,
             "status": self.status,
             "elapsed_s": round(self.elapsed_s, 6),
             "seed": self.seed,
@@ -75,6 +101,15 @@ class ExperimentRun:
             "error": self.error,
             "summary": self.summary,
         }
+
+
+@dataclass
+class _Job:
+    """Internal pairing of a pending run with what executing it needs."""
+
+    run: ExperimentRun
+    overrides: Dict[str, Any]
+    save_artifact: bool = True
 
 
 @dataclass
@@ -185,21 +220,52 @@ class Orchestrator:
                 f"param overrides for experiment(s) not in this run: {unmatched}; "
                 f"selected: {[spec.name for spec in specs]}"
             )
+        points = [
+            PointRequest(experiment=spec.name, params=dict(params.get(spec.name, {})))
+            for spec in specs
+        ]
+        return self.run_points(points, write_manifest=write_manifest)
+
+    def run_points(
+        self,
+        points: Sequence[PointRequest],
+        write_manifest: bool = True,
+        manifest_path: Optional[str] = None,
+        save_artifacts: bool = True,
+    ) -> RunReport:
+        """Schedule an explicit batch of (experiment, params) points.
+
+        This is the sweep engine's entry: many points may target the *same*
+        experiment at different parameters, each keyed and cached
+        independently. Labels must be unique — they name the manifest rows
+        and (when ``save_artifacts``) the ``results/`` artifact files,
+        nested directories allowed.
+        """
+        seen: Dict[str, str] = {}
+        for point in points:
+            if point.display in seen:
+                raise ConfigError(
+                    f"duplicate point label {point.display!r} "
+                    f"(experiments {seen[point.display]!r} and {point.experiment!r})"
+                )
+            seen[point.display] = point.experiment
         stats = Stats("orchestrator")
         digest = result_cache.source_digest()
         cache = result_cache.ResultCache()
         start = time.perf_counter()
 
-        pending: List[ExperimentRun] = []
-        by_name: Dict[str, ExperimentRun] = {}
-        for spec in specs:
-            overrides = dict(params.get(spec.name, {}))
+        pending: List[_Job] = []
+        runs: List[ExperimentRun] = []
+        for point in points:
+            spec = REGISTRY.get(point.experiment)
+            overrides = dict(point.params)
             spec.validate_params(overrides)
-            seed = derive_seed(self.run_seed, spec.name)
+            label = point.display
+            seed = derive_seed(self.run_seed, label)
             norm = normalize_params(overrides)
             key = result_cache.cache_key(spec.name, norm, seed, digest)
             run = ExperimentRun(
-                name=spec.name,
+                name=label,
                 status=STATUS_FAILED,
                 elapsed_s=0.0,
                 seed=seed,
@@ -207,26 +273,27 @@ class Orchestrator:
                 params=norm,
                 tags=list(spec.tags),
                 cost=spec.cost,
+                experiment=spec.name,
             )
-            by_name[spec.name] = run
+            runs.append(run)
             entry = cache.load(spec.name, key) if self.use_cache else None
             if entry is not None:
                 run.status = STATUS_CACHED
                 run.text = entry.text
                 run.elapsed_s = entry.elapsed_s
                 run.summary = entry.summary
-                run.artifact = save_result(spec.name, entry.text)
+                if save_artifacts:
+                    run.artifact = save_result(label, entry.text)
                 stats.add("cache.hits")
-                self._log(f"[cached {entry.elapsed_s:6.1f}s] {run.artifact}")
+                self._log(f"[cached {entry.elapsed_s:6.1f}s] {run.artifact or label}")
             else:
                 if self.use_cache:
                     stats.add("cache.misses")
-                pending.append(run)
+                pending.append(_Job(run=run, overrides=overrides, save_artifact=save_artifacts))
 
         if pending:
-            self._execute(pending, by_name, params, cache, stats)
+            self._execute(pending, cache, stats)
 
-        runs = [by_name[spec.name] for spec in specs]
         report = RunReport(
             runs=runs,
             jobs=self.jobs,
@@ -236,7 +303,7 @@ class Orchestrator:
             stats=stats,
         )
         if write_manifest:
-            path = report.write_manifest()
+            path = report.write_manifest(manifest_path)
             self._log(f"manifest: {path}")
         counts = report.counts()
         self._log(
@@ -248,50 +315,49 @@ class Orchestrator:
 
     def _execute(
         self,
-        pending: List[ExperimentRun],
-        by_name: Dict[str, ExperimentRun],
-        params: Dict[str, Dict[str, Any]],
+        pending: List[_Job],
         cache: result_cache.ResultCache,
         stats: Stats,
     ) -> None:
         # Long experiments first so the pool's tail is short.
-        ordered = sorted(pending, key=lambda r: (r.cost != "slow",))
+        ordered = sorted(pending, key=lambda j: (j.run.cost != "slow",))
         if self.jobs == 1 or len(pending) == 1:
-            for run in ordered:
-                record, error = self._run_inline(run, params)
-                self._finish(run, record, error, cache, stats)
+            for job in ordered:
+                record, error = self._run_inline(job)
+                self._finish(job, record, error, cache, stats)
             return
         workers = min(self.jobs, len(ordered))
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _execute_one, run.name, run.seed, dict(params.get(run.name, {}))
-                ): run
-                for run in ordered
+                    _execute_one, job.run.experiment, job.run.seed, job.overrides
+                ): job
+                for job in ordered
             }
             for future in concurrent.futures.as_completed(futures):
-                run = futures[future]
+                job = futures[future]
                 record, error = None, None
                 try:
                     record = future.result()
                 except Exception:
                     error = traceback.format_exc()
-                self._finish(run, record, error, cache, stats)
+                self._finish(job, record, error, cache, stats)
 
-    def _run_inline(self, run: ExperimentRun, params: Dict[str, Dict[str, Any]]):
+    def _run_inline(self, job: _Job):
         try:
-            return _execute_one(run.name, run.seed, dict(params.get(run.name, {}))), None
+            return _execute_one(job.run.experiment, job.run.seed, job.overrides), None
         except Exception:
             return None, traceback.format_exc()
 
     def _finish(
         self,
-        run: ExperimentRun,
+        job: _Job,
         record: Optional[dict],
         error: Optional[str],
         cache: result_cache.ResultCache,
         stats: Stats,
     ) -> None:
+        run = job.run
         if record is None:
             run.status = STATUS_FAILED
             run.error = error or "unknown failure"
@@ -302,13 +368,14 @@ class Orchestrator:
         run.text = record["text"]
         run.summary = record["summary"]
         run.elapsed_s = record["elapsed_s"]
-        run.artifact = save_result(run.name, run.text)
+        if job.save_artifact:
+            run.artifact = save_result(run.name, run.text)
         stats.add("experiments.executed")
         stats.add("experiments.executed_s", run.elapsed_s)
         if self.use_cache:
             cache.store(
                 result_cache.CacheEntry(
-                    name=run.name,
+                    name=run.experiment,
                     key=run.cache_key,
                     text=run.text,
                     elapsed_s=run.elapsed_s,
@@ -317,7 +384,7 @@ class Orchestrator:
                     summary=run.summary,
                 )
             )
-        self._log(f"[{run.elapsed_s:6.1f}s] {run.artifact}")
+        self._log(f"[{run.elapsed_s:6.1f}s] {run.artifact or run.name}")
         if self.show_text:
             self._log(run.text + "\n")
 
@@ -337,6 +404,10 @@ def clean(remove_cache: bool = True) -> List[str]:
         if is_artifact or filename == "manifest.json":
             os.unlink(path)
             removed.append(path)
+    sweeps_root = os.path.join(root, "sweeps")
+    if os.path.isdir(sweeps_root):
+        shutil.rmtree(sweeps_root)
+        removed.append(sweeps_root)
     if remove_cache:
         cache = result_cache.ResultCache()
         count = cache.clear()

@@ -39,11 +39,24 @@ EXPERIMENT_MODULES: Tuple[str, ...] = (
     "repro.eval.fig20_mac_granularity",
     "repro.eval.fig21_comm",
     "repro.eval.ablations",
+    "repro.eval.scenarios",
 )
 
 #: Tag carried by the 12 experiments ``repro.eval.runner`` regenerated in
 #: the original serial harness (every paper figure/table).
 PAPER_TAG = "paper"
+
+#: Tag carried by the parameterized off-design-point scenario experiments.
+SCENARIO_TAG = "scenario"
+
+#: Annotation string -> accepted runtime types for simple scalar params
+#: (``int`` accepts int where ``float`` is annotated, as Python does).
+_SCALAR_ANNOTATIONS: Dict[str, tuple] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+}
 
 
 def normalize_params(value: Any) -> Any:
@@ -111,8 +124,30 @@ class ExperimentSpec:
             schema[name] = entry
         return schema
 
+    def default_of(self, param: str) -> Any:
+        """The raw (un-normalized) default value of one ``run`` parameter."""
+        try:
+            value = inspect.signature(self.func).parameters[param].default
+        except KeyError:
+            raise ConfigError(
+                f"experiment {self.name!r} has no parameter {param!r}; "
+                f"schema: {sorted(self.param_schema())}"
+            ) from None
+        if value is inspect.Parameter.empty:
+            raise ConfigError(
+                f"experiment {self.name!r}: parameter {param!r} has no default"
+            )
+        return value
+
     def validate_params(self, params: Dict[str, Any]) -> None:
-        """Reject overrides that name parameters ``run`` does not accept."""
+        """Check overrides against the introspected schema.
+
+        Rejects names ``run`` does not accept, and values whose type
+        contradicts a simple scalar annotation (``int``/``float``/``str``/
+        ``bool`` — richer annotations are not second-guessed). The sweep
+        engine funnels every expanded matrix point through this before
+        anything is scheduled.
+        """
         schema = self.param_schema()
         unknown = sorted(set(params) - set(schema))
         if unknown:
@@ -120,6 +155,19 @@ class ExperimentSpec:
                 f"experiment {self.name!r} has no parameter(s) {unknown}; "
                 f"schema: {sorted(schema)}"
             )
+        for name, value in params.items():
+            annotation = schema[name].get("annotation")
+            expected = _SCALAR_ANNOTATIONS.get(annotation)
+            if expected is None:
+                continue
+            ok = isinstance(value, expected)
+            if bool not in expected and isinstance(value, bool):
+                ok = False  # bool passes isinstance(int) but isn't an int here
+            if not ok:
+                raise ConfigError(
+                    f"experiment {self.name!r}: parameter {name!r} expects "
+                    f"{annotation}, got {type(value).__name__} ({value!r})"
+                )
 
     def execute(self, **params: Any) -> ExperimentOutput:
         """Run the experiment and render its artifact text."""

@@ -1,0 +1,359 @@
+"""Off-design-point scenario experiments (the sweep engine's targets).
+
+The 16 paper experiments each pin one configuration; these three are
+*parameterized* so `repro.eval.sweep` can expand matrices over them:
+
+- ``scale_npu_pipeline`` — the collaborative pipeline on the synthetic
+  scaling zoo (``repro.workloads.models.SCALING_PRESETS``), any batch size:
+  model-size x batch-size scaling beyond the fixed Table-2 rows;
+- ``mee_cache_geometry`` — MEE metadata-cache (VN/MAC/Merkle) hit behaviour
+  as a function of capacity and associativity, generalizing the fixed
+  32 KB/8-way Table-1 point;
+- ``mac_policy`` — MAC granularity x verification policy (eager vs
+  delayed), generalizing Fig. 20's eager-only granularity axis.
+
+Each returns a result with ``as_dict`` so sweep metrics can be extracted
+from the orchestrator summary by dotted path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import baseline_system, non_secure_system, tensortee_system
+from repro.core.system import CollaborativeSystem
+from repro.errors import ConfigError
+from repro.eval.registry import experiment
+from repro.eval.tables import ascii_table, fmt, pct
+from repro.mem.metadata_cache import MetadataCache, MetadataKind
+from repro.npu.config import NpuConfig
+from repro.npu.kernels import iteration_time_s
+from repro.npu.mac import MacScheme
+from repro.units import KiB
+from repro.workloads.models import scaled_model
+
+# -- scale_npu_pipeline -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScaleResult:
+    """One (model size, batch size) point of the scaling scenario."""
+
+    model: str
+    n_params: int
+    batch_size: int
+    tokens_per_batch: int
+    non_secure_s: float
+    baseline_s: float
+    tensortee_s: float
+    npu_fraction: float  #: NPU share of the TensorTEE iteration
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.tensortee_s
+
+    @property
+    def overhead_vs_ns(self) -> float:
+        return self.tensortee_s / self.non_secure_s - 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "n_params": self.n_params,
+            "batch_size": self.batch_size,
+            "tokens_per_batch": self.tokens_per_batch,
+            "non_secure_s": self.non_secure_s,
+            "baseline_s": self.baseline_s,
+            "tensortee_s": self.tensortee_s,
+            "speedup": self.speedup,
+            "overhead_vs_ns": self.overhead_vs_ns,
+            "npu_fraction": self.npu_fraction,
+        }
+
+
+@experiment(
+    "scale_npu_pipeline",
+    tags=("scenario", "e2e", "sweep"),
+    cost="slow",
+    render="render_scale",
+)
+def scale_npu_pipeline(
+    preset: str = "410m", batch_size: int = 0, seq_len: int = 1024
+) -> ScaleResult:
+    """Collaborative-pipeline latency for one synthetic (size, batch) point."""
+    model = scaled_model(preset, batch_size=batch_size, seq_len=seq_len)
+    systems = {
+        "ns": CollaborativeSystem(non_secure_system()),
+        "base": CollaborativeSystem(baseline_system()),
+        "ours": CollaborativeSystem(tensortee_system()),
+    }
+    ours = systems["ours"].iteration_breakdown(model)
+    return ScaleResult(
+        model=model.name,
+        n_params=model.n_params,
+        batch_size=model.batch_size,
+        tokens_per_batch=model.tokens_per_batch,
+        non_secure_s=systems["ns"].iteration_breakdown(model).total_s,
+        baseline_s=systems["base"].iteration_breakdown(model).total_s,
+        tensortee_s=ours.total_s,
+        npu_fraction=ours.fractions()["NPU"],
+    )
+
+
+def render_scale(result: ScaleResult) -> str:
+    table = ascii_table(
+        ["model", "params", "batch", "non-secure (s)", "SGX+MGX (s)", "TensorTEE (s)", "speedup"],
+        [
+            (
+                result.model,
+                f"{result.n_params / 1e6:.0f}M",
+                result.batch_size,
+                fmt(result.non_secure_s, 3),
+                fmt(result.baseline_s, 3),
+                fmt(result.tensortee_s, 3),
+                fmt(result.speedup),
+            )
+        ],
+    )
+    return (
+        "Scenario — collaborative pipeline at one (model size, batch) point\n"
+        f"(TensorTEE {pct(result.overhead_vs_ns)} over non-secure, "
+        f"NPU fraction {pct(result.npu_fraction)})\n\n" + table
+    )
+
+
+# -- mee_cache_geometry -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MeeGeometryResult:
+    """Metadata-cache behaviour for one (capacity, ways) geometry."""
+
+    capacity_kib: int
+    ways: int
+    capacity_lines: int
+    vn_lines: int
+    levels: int
+    accesses: int
+    hit_rate: float
+    kind_hit_rates: Dict[str, float]
+    mean_covered_level: float
+
+    def as_dict(self) -> dict:
+        return {
+            "capacity_kib": self.capacity_kib,
+            "ways": self.ways,
+            "capacity_lines": self.capacity_lines,
+            "vn_lines": self.vn_lines,
+            "levels": self.levels,
+            "accesses": self.accesses,
+            "hit_rate": self.hit_rate,
+            "vn_hit_rate": self.kind_hit_rates["vn"],
+            "mac_hit_rate": self.kind_hit_rates["mac"],
+            "tree_hit_rate": self.kind_hit_rates["tree"],
+            "mean_covered_level": self.mean_covered_level,
+        }
+
+
+def _tree_levels(vn_lines: int, arity: int = 8) -> int:
+    levels = 1
+    nodes = vn_lines
+    while nodes > 1:
+        nodes = (nodes + arity - 1) // arity
+        levels += 1
+    return levels
+
+
+@experiment(
+    "mee_cache_geometry",
+    tags=("scenario", "mem", "sweep"),
+    cost="fast",
+    render="render_mee",
+)
+def mee_cache_geometry(
+    capacity_kib: int = 32,
+    ways: int = 8,
+    tensors: int = 48,
+    lines_per_tensor: int = 32,
+    iterations: int = 4,
+    seed: int = 2024,
+) -> MeeGeometryResult:
+    """Stream an optimizer-shaped metadata workload through one geometry.
+
+    Each iteration walks every tensor (seeded-shuffled order, as the
+    per-core shards interleave) and touches, per VN line: the VN and MAC
+    lines on the read, a Merkle walk that stops at the lowest cached tree
+    level, the read-modify-write reuse of both lines, and the tree-path
+    update on the write-back. Capacity and associativity are the swept
+    geometry; Table 1's fixed point is 32 KB / 8-way.
+    """
+    if tensors <= 0 or lines_per_tensor <= 0 or iterations <= 0:
+        raise ConfigError("tensors, lines_per_tensor and iterations must be positive")
+    cache = MetadataCache(capacity_bytes=capacity_kib * KiB, ways=ways)
+    vn_lines = tensors * lines_per_tensor
+    levels = _tree_levels(vn_lines)
+    rng = random.Random(seed)
+    covered_total = 0.0
+    covered_samples = 0
+    order = list(range(tensors))
+    for _ in range(iterations):
+        rng.shuffle(order)
+        for tensor in order:
+            base = tensor * lines_per_tensor
+            for offset in range(lines_per_tensor):
+                index = base + offset
+                # Read path: VN + MAC fetch, tree walk to the covered level.
+                cache.access(MetadataKind.VN, index)
+                cache.access(MetadataKind.MAC, index)
+                covered = cache.covered_level(index, levels)
+                covered_total += covered
+                covered_samples += 1
+                node = index
+                for level in range(1, covered + 1):
+                    node //= 8
+                    cache.access(MetadataKind.TREE, node, level=level)
+                # Write-back of the updated line: VN bump + fresh MAC,
+                # then the tree path re-hashes up to the root.
+                cache.access(MetadataKind.VN, index, write=True)
+                cache.access(MetadataKind.MAC, index, write=True)
+                node = index
+                for level in range(1, levels):
+                    node //= 8
+                    cache.access(MetadataKind.TREE, node, level=level, write=True)
+    counters = dict(cache.stats.flat())
+    kind_hit_rates: Dict[str, float] = {}
+    accesses = 0
+    for kind in ("vn", "mac", "tree"):
+        hits = counters.get(f"metadata_cache.{kind}_hits", 0.0)
+        misses = counters.get(f"metadata_cache.{kind}_misses", 0.0)
+        total = hits + misses
+        kind_hit_rates[kind] = hits / total if total else 0.0
+        accesses += int(total)
+    return MeeGeometryResult(
+        capacity_kib=capacity_kib,
+        ways=ways,
+        capacity_lines=capacity_kib * KiB // 64,
+        vn_lines=vn_lines,
+        levels=levels,
+        accesses=accesses,
+        hit_rate=cache.hit_rate,
+        kind_hit_rates=kind_hit_rates,
+        mean_covered_level=covered_total / max(covered_samples, 1),
+    )
+
+
+def render_mee(result: MeeGeometryResult) -> str:
+    table = ascii_table(
+        ["capacity", "ways", "VN hit", "MAC hit", "tree hit", "all", "covered lvl"],
+        [
+            (
+                f"{result.capacity_kib} KiB",
+                result.ways,
+                pct(result.kind_hit_rates["vn"]),
+                pct(result.kind_hit_rates["mac"]),
+                pct(result.kind_hit_rates["tree"]),
+                pct(result.hit_rate),
+                fmt(result.mean_covered_level),
+            )
+        ],
+    )
+    return (
+        "Scenario — MEE metadata-cache geometry "
+        f"({result.vn_lines} VN lines, {result.levels}-level tree, "
+        f"{result.accesses} accesses)\n\n" + table
+    )
+
+
+# -- mac_policy ---------------------------------------------------------------
+
+POLICIES = ("eager", "delayed")
+
+
+@dataclass(frozen=True)
+class MacPolicyResult:
+    """One (granularity, verification policy) trade-off point."""
+
+    scheme: str
+    granule_bytes: int
+    policy: str
+    model: str
+    storage_overhead: float
+    traffic_overhead: float
+    stall_overhead: float
+    perf_overhead: float
+    base_iteration_s: float
+
+    @property
+    def secure_iteration_s(self) -> float:
+        return self.base_iteration_s * (1.0 + self.perf_overhead)
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "granule_bytes": self.granule_bytes,
+            "policy": self.policy,
+            "model": self.model,
+            "storage_overhead": self.storage_overhead,
+            "traffic_overhead": self.traffic_overhead,
+            "stall_overhead": self.stall_overhead,
+            "perf_overhead": self.perf_overhead,
+            "base_iteration_s": self.base_iteration_s,
+            "secure_iteration_s": self.secure_iteration_s,
+        }
+
+
+@experiment(
+    "mac_policy",
+    tags=("scenario", "npu", "sweep"),
+    cost="fast",
+    render="render_mac",
+)
+def mac_policy(
+    granule_bytes: int = 512, policy: str = "eager", preset: str = "2.8b"
+) -> MacPolicyResult:
+    """Storage/perf trade-off of one MAC granularity under one policy.
+
+    ``granule_bytes=0`` is the tensor-wise scheme; ``policy`` picks eager
+    (consume-after-verify, Fig. 20's axis) or delayed (poison-tracked)
+    verification. Fig. 20 only ever pairs delayed with tensor-wise; the
+    full cross product is the off-paper scenario.
+    """
+    if policy not in POLICIES:
+        raise ConfigError(f"unknown policy {policy!r}; known: {', '.join(POLICIES)}")
+    config = NpuConfig()
+    label = "tensor" if granule_bytes == 0 else f"{granule_bytes}B"
+    scheme = MacScheme(f"{label}/{policy}", granule_bytes, delayed=policy == "delayed")
+    model = scaled_model(preset)
+    return MacPolicyResult(
+        scheme=scheme.name,
+        granule_bytes=granule_bytes,
+        policy=policy,
+        model=model.name,
+        storage_overhead=scheme.storage_overhead(),
+        traffic_overhead=scheme.traffic_overhead(),
+        stall_overhead=scheme.stall_overhead(config),
+        perf_overhead=scheme.performance_overhead(config),
+        base_iteration_s=iteration_time_s(config, model),
+    )
+
+
+def render_mac(result: MacPolicyResult) -> str:
+    table = ascii_table(
+        ["scheme", "storage", "traffic", "stall", "perf overhead", "iteration (s)"],
+        [
+            (
+                result.scheme,
+                pct(result.storage_overhead),
+                pct(result.traffic_overhead),
+                pct(result.stall_overhead),
+                pct(result.perf_overhead),
+                fmt(result.secure_iteration_s, 3),
+            )
+        ],
+    )
+    return (
+        "Scenario — MAC granularity x verification policy "
+        f"(model {result.model})\n\n" + table
+    )

@@ -36,8 +36,14 @@ def results_dir() -> str:
 
 
 def save_result(name: str, text: str) -> str:
-    """Persist a rendered experiment to results/<name>.txt."""
+    """Persist a rendered experiment to results/<name>.txt.
+
+    ``name`` may carry directory components (sweep points save under
+    ``results/sweeps/<sweep>/points/``); intermediate directories are
+    created on demand.
+    """
     path = os.path.join(results_dir(), f"{name}.txt")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w", encoding="utf-8") as f:
         f.write(text.rstrip() + "\n")
     return path

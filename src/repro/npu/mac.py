@@ -57,12 +57,15 @@ class MacScheme:
     def stall_overhead(self, config: NpuConfig) -> float:
         """Pipeline-bubble fraction from granule-completion waits.
 
-        A line decrypted early in a granule cannot feed the array until the
-        granule's MAC verifies, which happens only after its last line
-        arrives — the exposed wait grows with the granule relative to the
-        DMA streaming window (Fig. 13b/Fig. 20: ~13% at 4 KB).
+        Under *eager* verification a line decrypted early in a granule
+        cannot feed the array until the granule's MAC verifies, which
+        happens only after its last line arrives — the exposed wait grows
+        with the granule relative to the DMA streaming window
+        (Fig. 13b/Fig. 20: ~13% at 4 KB). *Delayed* verification decouples
+        consumption from granule completion entirely (poison tracking
+        stands in for the stall), so no bubble remains at any granularity.
         """
-        if self.is_tensor_wise and self.delayed:
+        if self.delayed:
             return 0.0
         granule = self.granule_bytes if self.granule_bytes else config.scratchpad_bytes
         # At worst the pipeline fully serializes fetch+verify against compute
@@ -74,11 +77,14 @@ class MacScheme:
 
         MAC fetches inflate the DMA streams that feed the array (tile
         loading gates the systolic pipeline), so traffic overhead applies
-        in full; granule-completion stalls add on top. Tensor-wise delayed
-        verification pays only the barrier tail (Sec. 6.3: ~2.5%).
+        in full; granule-completion stalls add on top under eager
+        verification, while a delayed policy trades them for the exposed
+        verification-barrier tail (Sec. 6.3: ~2.5% for TensorTEE's
+        tensor-wise scheme, whose MAC table lives on chip and so pays no
+        traffic either).
         """
-        if self.is_tensor_wise and self.delayed:
-            return config.barrier_tail_fraction
+        if self.delayed:
+            return self.traffic_overhead() + config.barrier_tail_fraction
         return self.traffic_overhead() + self.stall_overhead(config)
 
 

@@ -98,9 +98,7 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
-def _time_workload(
-    workload: Callable[[], object], repeat: int, warmup: int
-) -> List[float]:
+def _time_workload(workload: Callable[[], object], repeat: int, warmup: int) -> List[float]:
     for _ in range(warmup):
         workload()
     samples: List[float] = []

@@ -93,3 +93,73 @@ def model_by_name(name: str) -> ModelConfig:
             return model
     known = ", ".join(m.name for m in MODEL_ZOO)
     raise ConfigError(f"unknown model {name!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One architecture point of the parameterized (off-Table-2) model zoo.
+
+    ``default_batch`` follows the paper's 40 GB-NPU sizing curve; sweeps
+    override it to ask what happens off that design point.
+    """
+
+    name: str
+    n_layers: int
+    hidden: int
+    n_heads: int
+    default_batch: int
+    ffn_dim: int = 0
+    gated_mlp: bool = False
+
+
+#: Architecture presets spanning two orders of magnitude beyond the fixed
+#: Table-2 rows (GPT-3-family shapes; 13b/30b exceed the paper's 40 GB
+#: design point on purpose — that is the scenario the sweeps explore).
+SCALING_PRESETS: tuple[ScalePreset, ...] = (
+    ScalePreset("60m", n_layers=8, hidden=512, n_heads=8, default_batch=96),
+    ScalePreset("160m", n_layers=12, hidden=768, n_heads=12, default_batch=48),
+    ScalePreset("410m", n_layers=24, hidden=1024, n_heads=16, default_batch=20),
+    ScalePreset("1.4b", n_layers=24, hidden=2048, n_heads=16, default_batch=8),
+    ScalePreset("2.8b", n_layers=32, hidden=2560, n_heads=32, default_batch=6),
+    ScalePreset("6.9b", n_layers=32, hidden=4096, n_heads=32, default_batch=2),
+    ScalePreset("13b", n_layers=40, hidden=5120, n_heads=40, default_batch=1),
+    ScalePreset("30b", n_layers=48, hidden=7168, n_heads=56, default_batch=1),
+)
+
+#: Vocabulary shared by the synthetic scaling models (GPT-2 BPE).
+SCALE_VOCAB = 50257
+
+
+def scale_preset(name: str) -> ScalePreset:
+    """Look a scaling preset up by name (case-insensitive)."""
+    for preset in SCALING_PRESETS:
+        if preset.name.lower() == name.lower():
+            return preset
+    known = ", ".join(p.name for p in SCALING_PRESETS)
+    raise ConfigError(f"unknown scaling preset {name!r}; known: {known}")
+
+
+def scaled_model(preset: str, batch_size: int = 0, seq_len: int = 1024) -> ModelConfig:
+    """A concrete :class:`ModelConfig` off the parameterized zoo.
+
+    ``batch_size=0`` keeps the preset's default; any positive value builds
+    the same architecture at that batch — the model-size x batch-size
+    sweep's whole point.
+    """
+    shape = scale_preset(preset)
+    if batch_size < 0:
+        raise ConfigError(f"batch size must be non-negative, got {batch_size}")
+    batch = batch_size if batch_size else shape.default_batch
+    config = ModelConfig(
+        name=f"{shape.name}@bs{batch}",
+        paper_params=0,  # not a Table-2 row; n_params is the derived truth
+        batch_size=batch,
+        n_layers=shape.n_layers,
+        hidden=shape.hidden,
+        n_heads=shape.n_heads,
+        vocab=SCALE_VOCAB,
+        seq_len=seq_len,
+        ffn_dim=shape.ffn_dim,
+        gated_mlp=shape.gated_mlp,
+    )
+    return config

@@ -93,6 +93,20 @@ class TestMacSchemes:
         with pytest.raises(ConfigError):
             MacScheme("bad", 96)
 
+    def test_delayed_policy_removes_stalls_at_any_granularity(self, config):
+        # The mac_policy sweep's cross product: delayed verification trades
+        # the granule-completion stall for the barrier tail while the MAC
+        # traffic overhead stays with the granularity.
+        for granule in (64, 512, 4096):
+            eager = MacScheme(f"{granule}e", granule)
+            delayed = MacScheme(f"{granule}d", granule, delayed=True)
+            assert delayed.stall_overhead(config) == 0.0
+            assert delayed.traffic_overhead() == eager.traffic_overhead()
+            expected = eager.traffic_overhead() + config.barrier_tail_fraction
+            assert delayed.performance_overhead(config) == pytest.approx(expected)
+        # Eager whole-tensor verification still serializes fully (Fig. 13b).
+        assert MacScheme("tensor-eager", 0).stall_overhead(config) == 1.0
+
 
 class TestOnChipTables:
     def test_vn_bumps_per_tensor(self):
