@@ -12,6 +12,10 @@ Examples::
     python -m repro sweep list
     python -m repro sweep show mac_policy
     python -m repro sweep run npu_scaling --jobs 4
+    python -m repro sweep run npu_scaling --shard 1/2 --retries 2
+    python -m repro sweep run npu_scaling --resume
+    python -m repro sweep merge npu_scaling
+    python -m repro sweep status npu_scaling
     python -m repro digest --check benchmarks/artifact_digests.json
 
 See EXPERIMENTS.md for the experiment catalogue, the sweep-spec format and
@@ -70,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="always execute, and do not store new cache entries",
     )
     run.add_argument("--seed", type=int, default=0, help="run-level RNG seed")
+    run.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-execute a failed experiment up to N extra times",
+    )
     run.add_argument(
         "--json", action="store_true",
         help="print the manifest to stdout instead of progress lines",
@@ -142,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the expanded matrix at its first N points",
     )
     sweep_run.add_argument(
+        "--shard", metavar="K/N", default=None,
+        help="run only the K-th of N deterministic matrix slices "
+        "(consolidate with `sweep merge`)",
+    )
+    sweep_run.add_argument(
+        "--resume", action="store_true",
+        help="replay the run journal + result cache and schedule only "
+        "incomplete points",
+    )
+    sweep_run.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-execute a failed point up to N extra times before "
+        "quarantining it (budget persists across --resume)",
+    )
+    sweep_run.add_argument(
         "--json", action="store_true",
         help="print the consolidated sweep document to stdout",
     )
@@ -154,6 +177,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_show.add_argument("spec", help="spec name under sweeps/ or a TOML path")
     sweep_show.add_argument("--quick", action="store_true", help="apply the --quick truncation")
     sweep_show.add_argument("--json", action="store_true", help="machine-readable matrix")
+
+    sweep_merge = sweep_sub.add_parser(
+        "merge", help="consolidate per-shard runs into sweep.json + sweep.csv"
+    )
+    sweep_merge.add_argument("spec", help="spec name under sweeps/ or a TOML path")
+    sweep_merge.add_argument(
+        "--json", action="store_true", help="print the merged document to stdout"
+    )
+    sweep_merge.add_argument("--quiet", "-q", action="store_true", help="no progress lines")
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="done/failed/pending counts from the run journal(s)"
+    )
+    sweep_status.add_argument("spec", help="spec name under sweeps/ or a TOML path")
+    sweep_status.add_argument(
+        "--json", action="store_true", help="machine-readable status"
+    )
 
     digest = sub.add_parser(
         "digest", help="SHA-256 digests of rendered artifacts (CI drift tripwire)"
@@ -172,7 +212,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="NAME[,NAME...]",
-        help="with --update: record exactly these experiments",
+        help="with --update: record exactly these experiments; "
+        "with --check: verify only this subset of the file",
     )
     return parser
 
@@ -212,7 +253,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         verbose=not (args.quiet or args.json),
         show_text=args.show_text,
     )
-    report = orchestrator.run(only=only, tags=tags)
+    report = orchestrator.run(only=only, tags=tags, retries=args.retries)
     if args.json:
         json.dump(report.manifest(), sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -335,6 +376,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     spec = sweep_mod.load_spec(args.spec)
+    if args.sweep_command == "merge":
+        document, json_path, csv_path = sweep_mod.merge_shards(
+            spec, verbose=not (args.quiet or args.json)
+        )
+        if args.json:
+            json.dump(document, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        elif not args.quiet:
+            print(f"sweep: {json_path}\ncsv:   {csv_path}")
+        return 0 if document["counts"]["failed"] == 0 else 1
+
+    if args.sweep_command == "status":
+        status = sweep_mod.sweep_status(spec)
+        if args.json:
+            json.dump(status, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            print(
+                f"sweep {status['sweep']}: {status['n_points']} points — "
+                f"{status['done']} done, {status['failed']} failed, "
+                f"{status['stale']} stale, {status['pending']} pending"
+            )
+            for entry in status["failed_points"]:
+                flag = " (quarantined)" if entry["quarantined"] else ""
+                print(
+                    f"  failed: {entry['point']} "
+                    f"[{entry['error_type']}, {entry['attempts']} attempt(s)]{flag}"
+                )
+            for point_id in status["stale_points"]:
+                print(f"  stale:  {point_id}")
+            for point_id in status["pending_points"]:
+                print(f"  pending: {point_id}")
+            for journal in status["journals"]:
+                torn = ", torn tail" if journal["truncated"] else ""
+                print(
+                    f"journal: {journal['path']} ({journal['records']} records, "
+                    f"{journal['resumes']} resume(s){torn})"
+                )
+        return 0 if status["complete"] else 1
+
     if args.sweep_command == "show":
         points = sweep_mod.expand(spec, quick=args.quick)
         if args.json:
@@ -362,6 +443,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         quick=args.quick,
         limit=args.limit,
         verbose=not (args.quiet or args.json),
+        shard=sweep_mod.parse_shard(args.shard) if args.shard else None,
+        resume=args.resume,
+        retries=args.retries,
     )
     if args.json:
         json.dump(result.document(), sys.stdout, indent=2)
@@ -389,8 +473,6 @@ def artifact_digest(name: str) -> str:
 def cmd_digest(args: argparse.Namespace) -> int:
     path = args.check or args.update
     only = _split_names(args.only)
-    if args.check and only:
-        raise ConfigError("--only is for --update; --check uses the file's set")
     if args.update:
         names = only
         if names is None:
@@ -418,6 +500,14 @@ def cmd_digest(args: argparse.Namespace) -> int:
     expected = recorded.get("experiments", {})
     if not expected:
         raise ConfigError(f"digest file {path!r} records no experiments")
+    if only:
+        unknown = sorted(set(only) - set(expected))
+        if unknown:
+            raise ConfigError(
+                f"--only names not in {path!r}: {unknown}; "
+                f"recorded: {sorted(expected)}"
+            )
+        expected = {name: expected[name] for name in only}
     drifted = []
     for name in sorted(expected):
         actual = artifact_digest(REGISTRY.get(name).name)

@@ -114,6 +114,11 @@ class ResultCache:
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(record, f, indent=1)
+            # The run journal records a point as done only after its cache
+            # entry is durable, so fsync before the atomic rename — a crash
+            # must never leave a journaled success without a replayable entry.
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path)
         return path
 

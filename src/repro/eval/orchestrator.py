@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.eval import cache as result_cache
+from repro.eval.journal import PointRecord, RunJournal
 from repro.eval.registry import REGISTRY, normalize_params
 from repro.eval.tables import results_dir, save_result
 from repro.sim.stats import Stats
@@ -43,6 +44,16 @@ def derive_seed(run_seed: int, name: str) -> int:
     """Per-experiment RNG seed, stable across runs and worker placement."""
     digest = hashlib.sha256(f"{run_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:4], "big")
+
+
+def format_error(exc: BaseException) -> str:
+    """Full traceback text for ``exc``, including chained causes.
+
+    For pool failures the exception re-raised by ``Future.result()``
+    chains the worker-side ``_RemoteTraceback``, so the text names the
+    actual raising frame inside the worker, not just the join site.
+    """
+    return "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
 
 
 @dataclass(frozen=True)
@@ -80,6 +91,8 @@ class ExperimentRun:
     text: str = ""
     artifact: Optional[str] = None
     error: Optional[str] = None
+    error_type: Optional[str] = None  #: exception class name on failure
+    attempts: int = 0  #: execution attempts (0 when served from cache)
     summary: Optional[dict] = None
 
     def __post_init__(self) -> None:
@@ -97,8 +110,10 @@ class ExperimentRun:
             "params": self.params,
             "tags": self.tags,
             "cost": self.cost,
+            "attempts": self.attempts,
             "artifact": self.artifact,
             "error": self.error,
+            "error_type": self.error_type,
             "summary": self.summary,
         }
 
@@ -110,6 +125,7 @@ class _Job:
     run: ExperimentRun
     overrides: Dict[str, Any]
     save_artifact: bool = True
+    attempt: int = 0  #: 0-based index of the current try (resumes carry over)
 
 
 @dataclass
@@ -206,6 +222,8 @@ class Orchestrator:
         tags: Optional[Sequence[str]] = None,
         params: Optional[Dict[str, Dict[str, Any]]] = None,
         write_manifest: bool = True,
+        journal: Optional[RunJournal] = None,
+        retries: int = 0,
     ) -> RunReport:
         """Run the selected experiments; returns the full report.
 
@@ -224,7 +242,9 @@ class Orchestrator:
             PointRequest(experiment=spec.name, params=dict(params.get(spec.name, {})))
             for spec in specs
         ]
-        return self.run_points(points, write_manifest=write_manifest)
+        return self.run_points(
+            points, write_manifest=write_manifest, journal=journal, retries=retries
+        )
 
     def run_points(
         self,
@@ -232,6 +252,10 @@ class Orchestrator:
         write_manifest: bool = True,
         manifest_path: Optional[str] = None,
         save_artifacts: bool = True,
+        journal: Optional[RunJournal] = None,
+        retries: int = 0,
+        prior_attempts: Optional[Dict[str, int]] = None,
+        replay_failed: Optional[Dict[str, PointRecord]] = None,
     ) -> RunReport:
         """Schedule an explicit batch of (experiment, params) points.
 
@@ -240,7 +264,18 @@ class Orchestrator:
         independently. Labels must be unique — they name the manifest rows
         and (when ``save_artifacts``) the ``results/`` artifact files,
         nested directories allowed.
+
+        Fault tolerance: every terminal outcome (and every failed retry
+        attempt) is appended to ``journal`` as an fsynced record. A failed
+        point is re-executed up to ``retries`` extra times before it is
+        quarantined — one flaky point never aborts the batch.
+        ``prior_attempts`` carries attempt counts from a resumed journal so
+        the budget is bounded across restarts, and ``replay_failed`` rows
+        (points already quarantined in a previous run) are reported straight
+        from their journal record without being rescheduled.
         """
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
         seen: Dict[str, str] = {}
         for point in points:
             if point.display in seen:
@@ -249,6 +284,11 @@ class Orchestrator:
                     f"(experiments {seen[point.display]!r} and {point.experiment!r})"
                 )
             seen[point.display] = point.experiment
+        prior_attempts = dict(prior_attempts or {})
+        replay_failed = dict(replay_failed or {})
+        unknown = sorted((set(prior_attempts) | set(replay_failed)) - set(seen))
+        if unknown:
+            raise ConfigError(f"resume state for unscheduled point label(s) {unknown}")
         stats = Stats("orchestrator")
         digest = result_cache.source_digest()
         cache = result_cache.ResultCache()
@@ -276,6 +316,17 @@ class Orchestrator:
                 experiment=spec.name,
             )
             runs.append(run)
+            if label in replay_failed:
+                # Quarantined in a previous run: report the recorded failure
+                # without rescheduling (and without re-journaling it).
+                record = replay_failed[label]
+                run.error = record.error
+                run.error_type = record.error_type
+                run.elapsed_s = record.elapsed_s
+                run.attempts = record.attempt + 1
+                stats.add("experiments.quarantined")
+                self._log(f"[quarantined after {run.attempts} attempt(s)] {label}")
+                continue
             entry = cache.load(spec.name, key) if self.use_cache else None
             if entry is not None:
                 run.status = STATUS_CACHED
@@ -285,14 +336,22 @@ class Orchestrator:
                 if save_artifacts:
                     run.artifact = save_result(label, entry.text)
                 stats.add("cache.hits")
+                self._journal(journal, run, attempt=0)
                 self._log(f"[cached {entry.elapsed_s:6.1f}s] {run.artifact or label}")
             else:
                 if self.use_cache:
                     stats.add("cache.misses")
-                pending.append(_Job(run=run, overrides=overrides, save_artifact=save_artifacts))
+                pending.append(
+                    _Job(
+                        run=run,
+                        overrides=overrides,
+                        save_artifact=save_artifacts,
+                        attempt=prior_attempts.get(label, 0),
+                    )
+                )
 
         if pending:
-            self._execute(pending, cache, stats)
+            self._execute(pending, cache, stats, journal=journal, retries=retries)
 
         report = RunReport(
             runs=runs,
@@ -318,13 +377,20 @@ class Orchestrator:
         pending: List[_Job],
         cache: result_cache.ResultCache,
         stats: Stats,
+        journal: Optional[RunJournal] = None,
+        retries: int = 0,
     ) -> None:
         # Long experiments first so the pool's tail is short.
         ordered = sorted(pending, key=lambda j: (j.run.cost != "slow",))
         if self.jobs == 1 or len(pending) == 1:
             for job in ordered:
-                record, error = self._run_inline(job)
-                self._finish(job, record, error, cache, stats)
+                while True:
+                    record, error, error_type = self._run_inline(job)
+                    if record is not None or not self._maybe_retry(
+                        job, error, error_type, journal, stats, retries
+                    ):
+                        break
+                self._finish(job, record, error, error_type, cache, stats, journal)
             return
         workers = min(self.jobs, len(ordered))
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
@@ -334,34 +400,130 @@ class Orchestrator:
                 ): job
                 for job in ordered
             }
-            for future in concurrent.futures.as_completed(futures):
-                job = futures[future]
-                record, error = None, None
-                try:
-                    record = future.result()
-                except Exception:
-                    error = traceback.format_exc()
-                self._finish(job, record, error, cache, stats)
+            while futures:
+                done, _ = concurrent.futures.wait(
+                    futures, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    job = futures.pop(future)
+                    record, error, error_type = None, None, None
+                    retryable = True
+                    try:
+                        record = future.result()
+                    except concurrent.futures.BrokenExecutor as exc:
+                        # A worker died hard (segfault/OOM-kill): the pool is
+                        # unusable, so resubmitting could only crash the run.
+                        # Record the failure; the remaining futures drain the
+                        # same way and the report/journal stay complete.
+                        error, error_type = format_error(exc), type(exc).__name__
+                        retryable = False
+                    except Exception as exc:
+                        error, error_type = format_error(exc), type(exc).__name__
+                    if (
+                        record is None
+                        and retryable
+                        and self._maybe_retry(job, error, error_type, journal, stats, retries)
+                    ):
+                        try:
+                            resubmitted = pool.submit(
+                                _execute_one, job.run.experiment, job.run.seed, job.overrides
+                            )
+                        except concurrent.futures.BrokenExecutor as exc:
+                            # The pool broke between the failure and the retry.
+                            self._finish(
+                                job, None, format_error(exc), type(exc).__name__,
+                                cache, stats, journal,
+                            )
+                        else:
+                            futures[resubmitted] = job
+                    else:
+                        self._finish(job, record, error, error_type, cache, stats, journal)
 
     def _run_inline(self, job: _Job):
         try:
-            return _execute_one(job.run.experiment, job.run.seed, job.overrides), None
-        except Exception:
-            return None, traceback.format_exc()
+            record = _execute_one(job.run.experiment, job.run.seed, job.overrides)
+            return record, None, None
+        except Exception as exc:
+            return None, format_error(exc), type(exc).__name__
+
+    def _maybe_retry(
+        self,
+        job: _Job,
+        error: Optional[str],
+        error_type: Optional[str],
+        journal: Optional[RunJournal],
+        stats: Stats,
+        retries: int,
+    ) -> bool:
+        """Journal a failed attempt and decide whether to try again.
+
+        The attempt index is monotonic across resumed runs, so ``retries``
+        bounds the *total* executions of a point, not per-invocation ones.
+        """
+        if job.attempt >= retries:
+            return False
+        run = job.run
+        if journal is not None:
+            journal.append(
+                PointRecord(
+                    label=run.name,
+                    experiment=run.experiment,
+                    key=run.cache_key,
+                    seed=run.seed,
+                    status=STATUS_FAILED,
+                    params=run.params,
+                    attempt=job.attempt,
+                    error=error,
+                    error_type=error_type,
+                    quarantined=False,
+                    ts=time.time(),
+                )
+            )
+        stats.add("experiments.retried")
+        self._log(f"[retry {job.attempt + 1}/{retries}] {run.name}: {error_type}")
+        job.attempt += 1
+        return True
+
+    def _journal(
+        self, journal: Optional[RunJournal], run: ExperimentRun, attempt: int
+    ) -> None:
+        if journal is None:
+            return
+        journal.append(
+            PointRecord(
+                label=run.name,
+                experiment=run.experiment,
+                key=run.cache_key,
+                seed=run.seed,
+                status=run.status,
+                params=run.params,
+                attempt=attempt,
+                elapsed_s=run.elapsed_s,
+                error=run.error,
+                error_type=run.error_type,
+                quarantined=run.status == STATUS_FAILED,
+                ts=time.time(),
+            )
+        )
 
     def _finish(
         self,
         job: _Job,
         record: Optional[dict],
         error: Optional[str],
+        error_type: Optional[str],
         cache: result_cache.ResultCache,
         stats: Stats,
+        journal: Optional[RunJournal] = None,
     ) -> None:
         run = job.run
+        run.attempts = job.attempt + 1
         if record is None:
             run.status = STATUS_FAILED
             run.error = error or "unknown failure"
+            run.error_type = error_type
             stats.add("experiments.failed")
+            self._journal(journal, run, attempt=job.attempt)
             self._log(f"[FAILED] {run.name}\n{run.error}")
             return
         run.status = STATUS_EXECUTED
@@ -373,6 +535,8 @@ class Orchestrator:
         stats.add("experiments.executed")
         stats.add("experiments.executed_s", run.elapsed_s)
         if self.use_cache:
+            # Persist (and fsync) the cache entry *before* journaling
+            # success: a journaled success must imply a replayable result.
             cache.store(
                 result_cache.CacheEntry(
                     name=run.experiment,
@@ -384,6 +548,7 @@ class Orchestrator:
                     summary=run.summary,
                 )
             )
+        self._journal(journal, run, attempt=job.attempt)
         self._log(f"[{run.elapsed_s:6.1f}s] {run.artifact or run.name}")
         if self.show_text:
             self._log(run.text + "\n")

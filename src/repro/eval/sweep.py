@@ -47,11 +47,22 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
+from repro.eval import cache as result_cache
+from repro.eval.journal import (
+    JOURNAL_SCHEMA,
+    JournalView,
+    PointRecord,
+    RunJournal,
+    read_journal,
+)
 from repro.eval.orchestrator import (
     STATUS_CACHED,
+    STATUS_EXECUTED,
+    STATUS_FAILED,
     Orchestrator,
     PointRequest,
     RunReport,
+    derive_seed,
 )
 from repro.eval.registry import REGISTRY, ExperimentSpec, normalize_params
 from repro.eval.tables import ascii_table, results_dir
@@ -117,6 +128,45 @@ class SweepPoint:
     point_id: str  #: "granule_bytes=64,policy=eager" (axis order)
     coords: Dict[str, Any]  #: axis param (full dotted path) -> value
     params: Dict[str, Any]  #: resolved ``run()`` keyword overrides
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slice of a sweep matrix: shard ``index`` of ``count`` (1-based)."""
+
+    index: int
+    count: int
+
+    @property
+    def tag(self) -> str:
+        """Directory name of this shard's output tree, e.g. ``1of4``."""
+        return f"{self.index}of{self.count}"
+
+    def as_dict(self) -> dict:
+        return {"index": self.index, "count": self.count}
+
+
+def parse_shard(text: str) -> Shard:
+    """Parse a CLI ``K/N`` shard selector (1-based, ``1 <= K <= N``)."""
+    match = re.match(r"^(\d+)/(\d+)$", text.strip())
+    if not match:
+        raise ConfigError(f"shard must look like K/N (e.g. 2/4), got {text!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigError(f"shard index must satisfy 1 <= K <= N, got {index}/{count}")
+    return Shard(index=index, count=count)
+
+
+def shard_points(points: Sequence[SweepPoint], shard: Optional[Shard]) -> List[SweepPoint]:
+    """Deterministic round-robin partition of the expanded matrix.
+
+    Point ``i`` belongs to shard ``(i % count) + 1``; the partition is a
+    pure function of the expansion order, so any machine expanding the
+    same spec computes the same disjoint, complete slices.
+    """
+    if shard is None:
+        return list(points)
+    return [p for p in points if p.index % shard.count == shard.index - 1]
 
 
 # -- spec construction --------------------------------------------------------
@@ -535,6 +585,7 @@ class SweepResult:
     axes: Tuple[Axis, ...] = ()
     quick: bool = False
     limit: Optional[int] = None
+    shard: Optional[Shard] = None
     json_path: Optional[str] = None
     csv_path: Optional[str] = None
 
@@ -564,6 +615,7 @@ class SweepResult:
                     "cache_key": run.cache_key,
                     "artifact": run.artifact,
                     "error": run.error,
+                    "error_type": run.error_type,
                     "metrics": metrics,
                 }
             )
@@ -571,6 +623,12 @@ class SweepResult:
 
     def document(self) -> dict:
         """The full ``sweep.json`` payload."""
+        document = self._document_base()
+        if self.shard is not None:
+            document["shard"] = self.shard.as_dict()
+        return document
+
+    def _document_base(self) -> dict:
         return {
             "schema": SWEEP_SCHEMA,
             "kind": "repro-sweep",
@@ -615,35 +673,201 @@ class SweepResult:
 
     def write(self) -> Tuple[str, str]:
         """Persist ``sweep.json`` + ``sweep.csv``; returns their paths."""
-        os.makedirs(self.out_dir, exist_ok=True)
-        json_path = os.path.join(self.out_dir, "sweep.json")
-        tmp = json_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump(self.document(), f, indent=2)
-            f.write("\n")
-        os.replace(tmp, json_path)
-        csv_path = os.path.join(self.out_dir, "sweep.csv")
-        with open(csv_path, "w", encoding="utf-8", newline="") as f:
-            writer = csv.writer(f)
-            header = ["point"] + [a.short for a in self.axes]
-            header += ["status", "cached", "elapsed_s"]
-            header += [m.name for m in self.spec.metrics]
-            writer.writerow(header)
-            for point, record in zip(self.points, self.point_records()):
-                row: List[Any] = [point.point_id]
-                row += [point.coords[a.param] for a in self.axes]
-                row += [record["status"], record["cached"], record["elapsed_s"]]
-                row += [record["metrics"].get(m.name) for m in self.spec.metrics]
-                writer.writerow(row)
-        self.json_path = json_path
-        self.csv_path = csv_path
-        return json_path, csv_path
+        self.json_path, self.csv_path = write_outputs(self.out_dir, self.document())
+        return self.json_path, self.csv_path
+
+
+def write_outputs(out_dir: str, document: dict) -> Tuple[str, str]:
+    """Write a sweep document as ``sweep.json`` + ``sweep.csv``.
+
+    Operates purely on the consolidated document so the live run path and
+    ``sweep merge`` produce byte-identical layouts for identical content.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, "sweep.json")
+    tmp = json_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2)
+        f.write("\n")
+    os.replace(tmp, json_path)
+    csv_path = os.path.join(out_dir, "sweep.csv")
+    axis_params = [a["param"] for a in document["axes"]]
+    metric_names = [m["name"] for m in document["metrics"]]
+    with open(csv_path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        header = ["point"] + [p.rpartition(".")[2] for p in axis_params]
+        header += ["status", "cached", "elapsed_s"]
+        header += metric_names
+        writer.writerow(header)
+        for record in document["points"]:
+            row: List[Any] = [record["point"]]
+            row += [record["coords"][p] for p in axis_params]
+            row += [record["status"], record["cached"], record["elapsed_s"]]
+            row += [record["metrics"].get(name) for name in metric_names]
+            writer.writerow(row)
+    return json_path, csv_path
+
+
+#: Top-level document keys that vary run to run without the swept content
+#: changing (timing, scheduling environment, shard bookkeeping).
+VOLATILE_DOCUMENT_KEYS = (
+    "generated_at",
+    "wall_s",
+    "jobs",
+    "cache_enabled",
+    "counts",
+    "shard",
+    "shards",
+)
+
+#: Per-point keys that vary between an executed and a cache-replayed (or
+#: resumed/merged) instance of the same result.
+VOLATILE_POINT_KEYS = ("status", "cached", "elapsed_s", "artifact")
+
+
+def canonical_document(document: dict) -> dict:
+    """The run-invariant content view of a sweep document.
+
+    Strips timing, scheduling, and path fields so that an uninterrupted
+    run, a crashed-and-resumed run, and a shard-merged run of the same
+    matrix compare equal — the acceptance property the crash-injection
+    tests assert.
+    """
+    view = {k: v for k, v in document.items() if k not in VOLATILE_DOCUMENT_KEYS}
+    view["points"] = [
+        {k: v for k, v in record.items() if k not in VOLATILE_POINT_KEYS}
+        for record in document["points"]
+    ]
+    return view
 
 
 def _format_cell(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return "-" if value is None else str(value)
+
+
+def point_label(sweep_name: str, point_id: str) -> str:
+    """The orchestrator label (and artifact path stem) of one point."""
+    return f"sweeps/{sweep_name}/points/{point_id}"
+
+
+def sweep_dir(sweep_name: str, shard: Optional[Shard] = None) -> str:
+    """Output tree of a sweep run (a shard gets its own subtree)."""
+    base = os.path.join(results_dir(), "sweeps", sweep_name)
+    if shard is None:
+        return base
+    return os.path.join(base, "shards", shard.tag)
+
+
+def expected_keys(
+    spec: SweepSpec, points: Sequence[SweepPoint], digest: Optional[str] = None
+) -> Dict[str, Tuple[int, str]]:
+    """``{label: (seed, cache_key)}`` exactly as the orchestrator derives them.
+
+    Resume planning matches journal records against these keys, so a
+    source or parameter change (which rotates every affected key)
+    automatically invalidates stale journal history.
+    """
+    digest = digest or result_cache.source_digest()
+    out: Dict[str, Tuple[int, str]] = {}
+    for point in points:
+        label = point_label(spec.name, point.point_id)
+        seed = derive_seed(spec.seed, label)
+        key = result_cache.cache_key(
+            spec.experiment, normalize_params(dict(point.params)), seed, digest
+        )
+        out[label] = (seed, key)
+    return out
+
+
+def plan_resume(
+    view: JournalView,
+    expected: Dict[str, Tuple[int, str]],
+    retries: int,
+) -> Tuple[Dict[str, int], Dict[str, PointRecord]]:
+    """Split journal history into carried attempt counts and quarantines.
+
+    A point with a journaled success under its current key is complete
+    (the result cache replays it, so it needs no special handling). A
+    point whose failures exhausted the ``retries`` budget is quarantined:
+    its last failure record is replayed into the report without
+    rescheduling. Anything else is incomplete and runs, with its burned
+    attempts carried forward so the budget is bounded across resumes.
+    """
+    prior_attempts: Dict[str, int] = {}
+    replay_failed: Dict[str, PointRecord] = {}
+    for label, (_seed, key) in expected.items():
+        matching = [r for r in view.records if r.label == label and r.key == key]
+        if any(r.succeeded for r in matching):
+            continue
+        attempts = view.failed_attempts(label, key)
+        if not attempts:
+            continue
+        if attempts > retries:
+            failures = [r for r in matching if r.status == STATUS_FAILED]
+            replay_failed[label] = max(failures, key=lambda r: r.attempt)
+        else:
+            prior_attempts[label] = attempts
+    return prior_attempts, replay_failed
+
+
+def _journal_header(
+    spec: SweepSpec,
+    points: Sequence[SweepPoint],
+    shard: Optional[Shard],
+    quick: bool,
+    limit: Optional[int],
+    digest: str,
+) -> dict:
+    return {
+        "sweep": spec.name,
+        "experiment": spec.experiment,
+        "mode": spec.mode,
+        "seed": spec.seed,
+        "quick": quick,
+        "limit": limit,
+        "shard": shard.as_dict() if shard else None,
+        "source_digest": digest,
+        "n_points": len(points),
+        "labels": [point_label(spec.name, p.point_id) for p in points],
+        "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
+
+
+def _check_resume_header(
+    header: Optional[dict],
+    spec: SweepSpec,
+    shard: Optional[Shard],
+    quick: bool,
+    limit: Optional[int],
+) -> None:
+    """A resumed run must continue the *same* matrix the journal began."""
+    if header is None:
+        return  # crashed before the header line was durable: fresh start
+    expected = {
+        "sweep": spec.name,
+        "experiment": spec.experiment,
+        "mode": spec.mode,
+        "seed": spec.seed,
+        "quick": quick,
+        "limit": limit,
+        "shard": shard.as_dict() if shard else None,
+    }
+    mismatched = {
+        name: (header.get(name), value)
+        for name, value in expected.items()
+        if header.get(name) != value
+    }
+    if mismatched:
+        detail = "; ".join(
+            f"{name}: journal={got!r} run={want!r}"
+            for name, (got, want) in sorted(mismatched.items())
+        )
+        raise ConfigError(
+            f"--resume does not match the journal at hand ({detail}); "
+            "run without --resume to start the sweep over"
+        )
 
 
 def run_sweep(
@@ -654,6 +878,9 @@ def run_sweep(
     limit: Optional[int] = None,
     verbose: bool = True,
     write: bool = True,
+    shard: Optional[Shard] = None,
+    resume: bool = False,
+    retries: int = 0,
 ) -> SweepResult:
     """Expand ``spec`` and run every point through the orchestrator.
 
@@ -661,24 +888,57 @@ def run_sweep(
     caching, so an unchanged re-run is all cache hits; each point's
     rendered artifact lands under ``results/sweeps/<name>/points/`` and
     the per-point manifest next to the consolidated ``sweep.json``.
+
+    Fault tolerance: every outcome is appended (fsynced) to a
+    ``journal.jsonl`` run journal in the output tree. ``shard`` restricts
+    the run to a deterministic slice of the matrix (consolidate with
+    :func:`merge_shards`); ``resume`` replays the journal plus the result
+    cache and schedules only incomplete points; ``retries`` bounds
+    re-execution of flaky points before they are quarantined.
     """
-    points = expand(spec, quick=quick, limit=limit)
-    prefix = f"sweeps/{spec.name}/points"
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    if resume and not use_cache:
+        raise ConfigError(
+            "--resume replays completed points from the result cache; "
+            "it cannot be combined with --no-cache"
+        )
+    all_points = expand(spec, quick=quick, limit=limit)
+    points = shard_points(all_points, shard)
+    out_dir = sweep_dir(spec.name, shard)
+    os.makedirs(out_dir, exist_ok=True)
+    journal_path = os.path.join(out_dir, "journal.jsonl")
+    digest = result_cache.source_digest()
+    prior_attempts: Dict[str, int] = {}
+    replay_failed: Dict[str, PointRecord] = {}
+    if resume:
+        view = read_journal(journal_path)
+        _check_resume_header(view.header, spec, shard, quick, limit)
+        prior_attempts, replay_failed = plan_resume(
+            view, expected_keys(spec, points, digest), retries
+        )
+        journal = RunJournal.attach(journal_path)
+    else:
+        journal = RunJournal.start(
+            journal_path, _journal_header(spec, points, shard, quick, limit, digest)
+        )
     requests = [
         PointRequest(
             experiment=spec.experiment,
             params=point.params,
-            label=f"{prefix}/{point.point_id}",
+            label=point_label(spec.name, point.point_id),
         )
         for point in points
     ]
-    out_dir = os.path.join(results_dir(), "sweeps", spec.name)
-    os.makedirs(out_dir, exist_ok=True)
     orchestrator = Orchestrator(jobs=jobs, use_cache=use_cache, run_seed=spec.seed, verbose=verbose)
     report = orchestrator.run_points(
         requests,
         write_manifest=True,
         manifest_path=os.path.join(out_dir, "manifest.json"),
+        journal=journal,
+        retries=retries,
+        prior_attempts=prior_attempts,
+        replay_failed=replay_failed,
     )
     result = SweepResult(
         spec=spec,
@@ -688,7 +948,244 @@ def run_sweep(
         axes=effective_axes(spec, quick=quick),
         quick=quick,
         limit=limit,
+        shard=shard,
     )
     if write:
         result.write()
     return result
+
+
+# -- shard merge & status -----------------------------------------------------
+
+
+def _uniform(docs: List[dict], key: str, context: str) -> Any:
+    values = {json.dumps(doc.get(key), sort_keys=True) for doc in docs}
+    if len(values) > 1:
+        raise ConfigError(
+            f"{context}: shards disagree on {key!r} "
+            f"({', '.join(sorted(values))}); re-run them from the same spec and source"
+        )
+    return docs[0].get(key)
+
+
+def merge_shards(spec: SweepSpec, verbose: bool = True) -> Tuple[dict, str, str]:
+    """Consolidate per-shard runs into the single ``sweep.json`` + CSV.
+
+    Reads every ``shards/*/sweep.json`` under the sweep's output tree,
+    checks the slices are mutually consistent (same spec echo, same
+    source digest, disjoint points) and together cover the full expanded
+    matrix, then writes the consolidated document exactly where an
+    unsharded run would have: ``results/sweeps/<name>/``.
+    """
+    base = sweep_dir(spec.name)
+    shards_root = os.path.join(base, "shards")
+    if not os.path.isdir(shards_root):
+        raise ConfigError(
+            f"no shard runs under {shards_root}; "
+            f"run `sweep run {spec.name} --shard K/N` first"
+        )
+    context = f"sweep merge {spec.name!r}"
+    docs: List[dict] = []
+    dirs: List[str] = []
+    for entry in sorted(os.listdir(shards_root)):
+        shard_json = os.path.join(shards_root, entry, "sweep.json")
+        if not os.path.isfile(shard_json):
+            raise ConfigError(
+                f"{context}: shard {entry} has no sweep.json — it crashed or is "
+                f"still running; finish it with `sweep run {spec.name} "
+                f"--shard ... --resume`"
+            )
+        try:
+            with open(shard_json, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except ValueError as exc:
+            raise ConfigError(f"{context}: cannot parse {shard_json!r}: {exc}") from exc
+        if doc.get("kind") != "repro-sweep" or "shard" not in doc:
+            raise ConfigError(f"{context}: {shard_json!r} is not a shard sweep document")
+        if doc.get("sweep") != spec.name or doc.get("experiment") != spec.experiment:
+            raise ConfigError(
+                f"{context}: {shard_json!r} belongs to sweep "
+                f"{doc.get('sweep')!r}/{doc.get('experiment')!r}"
+            )
+        docs.append(doc)
+        dirs.append(os.path.join(shards_root, entry))
+    counts = {doc["shard"]["count"] for doc in docs}
+    if len(counts) != 1:
+        raise ConfigError(f"{context}: mixed shard counts {sorted(counts)}")
+    count = counts.pop()
+    indices = sorted(doc["shard"]["index"] for doc in docs)
+    if indices != list(range(1, count + 1)):
+        missing = sorted(set(range(1, count + 1)) - set(indices))
+        raise ConfigError(
+            f"{context}: expected shards 1..{count}, have {indices}"
+            + (f"; missing {missing}" if missing else "")
+        )
+    for key in (
+        "mode",
+        "seed",
+        "quick",
+        "limit",
+        "source_digest",
+        "axes",
+        "base",
+        "metrics",
+        "schema",
+    ):
+        _uniform(docs, key, context)
+    quick = bool(docs[0].get("quick"))
+    limit = docs[0].get("limit")
+    expected_ids = [p.point_id for p in expand(spec, quick=quick, limit=limit)]
+    collected: Dict[str, dict] = {}
+    for doc in docs:
+        for record in doc["points"]:
+            if record["point"] in collected:
+                raise ConfigError(
+                    f"{context}: point {record['point']!r} appears in more than one shard"
+                )
+            collected[record["point"]] = record
+    missing = [pid for pid in expected_ids if pid not in collected]
+    extra = sorted(set(collected) - set(expected_ids))
+    if missing or extra:
+        raise ConfigError(
+            f"{context}: shard union does not cover the matrix "
+            f"(missing {missing or 'none'}, extra {extra or 'none'})"
+        )
+    points = [collected[pid] for pid in expected_ids]
+    status_counts = {STATUS_EXECUTED: 0, STATUS_CACHED: 0, STATUS_FAILED: 0}
+    for record in points:
+        status_counts[record["status"]] += 1
+    merged = {
+        key: docs[0][key]
+        for key in ("schema", "kind", "sweep", "experiment", "description", "mode", "seed")
+    }
+    merged.update(
+        {
+            "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "jobs": max(doc["jobs"] for doc in docs),
+            "cache_enabled": all(doc["cache_enabled"] for doc in docs),
+            "quick": quick,
+            "limit": limit,
+            "source_digest": docs[0]["source_digest"],
+            "wall_s": round(sum(doc["wall_s"] for doc in docs), 6),
+            "counts": status_counts,
+            "axes": docs[0]["axes"],
+            "base": docs[0]["base"],
+            "metrics": docs[0]["metrics"],
+            "shards": [
+                {
+                    "index": doc["shard"]["index"],
+                    "count": doc["shard"]["count"],
+                    "dir": path,
+                    "counts": doc["counts"],
+                    "wall_s": doc["wall_s"],
+                }
+                for doc, path in sorted(zip(docs, dirs), key=lambda t: t[0]["shard"]["index"])
+            ],
+            "points": points,
+        }
+    )
+    json_path, csv_path = write_outputs(base, merged)
+    if verbose:
+        print(
+            f"merged {count} shard(s), {len(points)} points — "
+            f"{status_counts[STATUS_EXECUTED]} executed, "
+            f"{status_counts[STATUS_CACHED]} cached, "
+            f"{status_counts[STATUS_FAILED]} failed",
+            flush=True,
+        )
+    return merged, json_path, csv_path
+
+
+def sweep_status(spec: SweepSpec) -> dict:
+    """Done/failed/stale/pending counts from the sweep's run journal(s).
+
+    Reads the unsharded journal and every shard journal that exists,
+    takes the latest record per point, and classifies each expanded
+    matrix point: ``done`` (success under its current cache key),
+    ``stale`` (success under an outdated key — the sources or params
+    changed since), ``failed``, or ``pending`` (never journaled).
+    Nothing is executed.
+    """
+    base = sweep_dir(spec.name)
+    candidates = [os.path.join(base, "journal.jsonl")]
+    shards_root = os.path.join(base, "shards")
+    if os.path.isdir(shards_root):
+        candidates += [
+            os.path.join(shards_root, entry, "journal.jsonl")
+            for entry in sorted(os.listdir(shards_root))
+        ]
+    paths = [p for p in candidates if os.path.isfile(p)]
+    if not paths:
+        raise ConfigError(f"no run journal under {base}; nothing has run for sweep {spec.name!r}")
+    views = [read_journal(p) for p in paths]
+    headers = [v.header for v in views if v.header is not None]
+    newest = max(headers, key=lambda h: str(h.get("created_at", ""))) if headers else None
+    quick = bool(newest.get("quick")) if newest else False
+    limit = newest.get("limit") if newest else None
+
+    def _matches(view: JournalView) -> bool:
+        if view.header is None:
+            return True
+        return bool(view.header.get("quick")) == quick and view.header.get("limit") == limit
+
+    # Journals from older invocations with a different matrix shape (say a
+    # leftover --quick shard tree next to a fresh full run) are ignored
+    # rather than conflated with the newest run's.
+    kept = [v for v in views if _matches(v)]
+    points = expand(spec, quick=quick, limit=limit)
+    expected = expected_keys(spec, points)
+    # Latest record per label by write timestamp, not journal file order —
+    # a fresh unsharded run supersedes stale shard journals and vice versa.
+    ordered = sorted(
+        (record for view in kept for record in view.records), key=lambda r: r.ts
+    )
+    last: Dict[str, PointRecord] = {}
+    for record in ordered:
+        last[record.label] = record
+    done: List[str] = []
+    stale: List[str] = []
+    failed: List[dict] = []
+    pending: List[str] = []
+    for point in points:
+        label = point_label(spec.name, point.point_id)
+        record = last.get(label)
+        _seed, key = expected[label]
+        if record is None:
+            pending.append(point.point_id)
+        elif record.succeeded:
+            (done if record.key == key else stale).append(point.point_id)
+        else:
+            failed.append(
+                {
+                    "point": point.point_id,
+                    "attempts": record.attempt + 1,
+                    "error_type": record.error_type,
+                    "quarantined": record.quarantined,
+                }
+            )
+    return {
+        "schema": JOURNAL_SCHEMA,
+        "sweep": spec.name,
+        "experiment": spec.experiment,
+        "n_points": len(points),
+        "quick": quick,
+        "limit": limit,
+        "done": len(done),
+        "stale": len(stale),
+        "failed": len(failed),
+        "pending": len(pending),
+        "complete": not stale and not failed and not pending,
+        "failed_points": failed,
+        "stale_points": stale,
+        "pending_points": pending,
+        "journals": [
+            {
+                "path": view.path,
+                "records": len(view.records),
+                "resumes": view.resumes,
+                "truncated": view.truncated,
+                "ignored": not _matches(view),
+            }
+            for view in views
+        ],
+    }

@@ -613,12 +613,23 @@ class TestCli:
 
     def test_committed_digest_file_matches(self, results_env):
         # The CI artifact-digest lane must pass on a clean checkout: the
-        # checked-in digests track the current models byte for byte.
+        # checked-in digests track the current models byte for byte. The
+        # file now records all 16 fixed artifacts; regenerating the slow
+        # ones takes ~30 s, so the unit test verifies the fast-cost subset
+        # via --only and leaves the full sweep to the CI lane.
         from repro.cli import main
+        from repro.eval.registry import REGISTRY
 
         repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         path = os.path.join(repo, "benchmarks", "artifact_digests.json")
-        assert main(["digest", "--check", path]) == 0
+        recorded = set(json.load(open(path))["experiments"])
+        fast = [
+            s.name
+            for s in REGISTRY.specs()
+            if s.cost == "fast" and s.name in recorded
+        ]
+        assert fast  # the subset is never empty
+        assert main(["digest", "--check", path, "--only", ",".join(fast)]) == 0
 
 
 class TestRegistryValidation:

@@ -1,11 +1,19 @@
-"""Cross-cutting property tests on the core security invariants."""
+"""Cross-cutting property tests: security invariants + the fault-tolerant
+sweep-execution layer (shard partitioning, cache keying, journal codec)."""
 
+import json
+import os
+import tempfile
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cpu.tenanalyzer import TenAnalyzer
 from repro.cpu.tenanalyzer.entry import EntryGeometry, try_merge_geometries
+from repro.eval.cache import cache_key
+from repro.eval.journal import PointRecord, RunJournal, read_journal
+from repro.eval.registry import normalize_params
+from repro.eval.sweep import Shard, SweepPoint, shard_points
 from repro.mem.mee import FunctionalMee
 from repro.sim.trace import AccessKind, MemAccess
 from repro.tensor.registry import TensorRegistry
@@ -54,6 +62,119 @@ def test_merge_never_fabricates_coverage(base_a, run_a, base_b, run_b):
     if merged is None:
         return
     assert set(merged.covered_lines()) == cover_a | cover_b
+
+
+# -- fault-tolerant sweep execution -------------------------------------------
+
+
+def _points(n: int):
+    return [SweepPoint(index=i, point_id=f"p{i}", coords={}, params={}) for i in range(n)]
+
+
+@given(n_points=st.integers(0, 200), count=st.integers(1, 12))
+@settings(max_examples=100, deadline=None)
+def test_shard_partition_disjoint_complete_deterministic(n_points, count):
+    """Shards are a partition: disjoint, complete, order-preserving, and a
+    pure function of (matrix, K, N)."""
+    points = _points(n_points)
+    shards = [shard_points(points, Shard(k, count)) for k in range(1, count + 1)]
+    indexes = [[p.index for p in shard] for shard in shards]
+    # Complete and disjoint: every point lands in exactly one shard.
+    flat = [i for shard in indexes for i in shard]
+    assert sorted(flat) == list(range(n_points))
+    # Order-preserving within a shard (scheduling order is stable).
+    assert all(shard == sorted(shard) for shard in indexes)
+    # Deterministic: re-partitioning yields the identical slices.
+    assert indexes == [
+        [p.index for p in shard_points(points, Shard(k, count))]
+        for k in range(1, count + 1)
+    ]
+    # Balanced: round-robin shard sizes differ by at most one point.
+    sizes = [len(shard) for shard in indexes]
+    assert max(sizes) - min(sizes) <= 1
+
+
+_SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+_PARAM_VALUES = st.recursive(
+    _SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(
+    params=st.dictionaries(st.text(min_size=1, max_size=12), _PARAM_VALUES, max_size=6),
+    seed=st.integers(0, 2**31),
+    order=st.randoms(use_true_random=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_cache_key_is_order_insensitive_and_stable(params, seed, order):
+    """The content-hash key must not depend on dict insertion order, and
+    normalization must be idempotent (a replayed manifest row re-keys
+    identically)."""
+    keys = list(params)
+    order.shuffle(keys)
+    shuffled = {k: params[k] for k in keys}
+    norm = normalize_params(params)
+    assert normalize_params(shuffled) == norm
+    assert normalize_params(norm) == norm  # idempotent
+    json.dumps(norm)  # JSON-stable by construction
+    base = cache_key("exp", norm, seed, "digest")
+    assert cache_key("exp", normalize_params(shuffled), seed, "digest") == base
+    assert cache_key("exp", norm, seed, "digest") == base
+
+
+_RECORDS = st.builds(
+    PointRecord,
+    label=st.text(min_size=1, max_size=40),
+    experiment=st.text(min_size=1, max_size=20),
+    key=st.text(min_size=1, max_size=20),
+    seed=st.integers(0, 2**32 - 1),
+    status=st.sampled_from(["executed", "cached", "failed"]),
+    params=st.dictionaries(st.text(min_size=1, max_size=8), _SCALARS, max_size=4),
+    attempt=st.integers(0, 9),
+    elapsed_s=st.floats(0, 1e6, allow_nan=False),
+    error=st.one_of(st.none(), st.text(max_size=200)),
+    error_type=st.one_of(st.none(), st.text(min_size=1, max_size=30)),
+    quarantined=st.booleans(),
+    ts=st.floats(0, 2e9, allow_nan=False),
+)
+
+
+@given(records=st.lists(_RECORDS, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_journal_roundtrips_arbitrary_point_records(records):
+    """Whatever the orchestrator journals — unicode labels, tracebacks,
+    odd float params — must replay bit-for-bit, and a torn tail must never
+    corrupt the records before it."""
+    for record in records:
+        assert PointRecord.from_json(record.to_json()) == record
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "journal.jsonl")
+        journal = RunJournal.start(path, {"sweep": "prop", "n_points": len(records)})
+        for record in records:
+            journal.append(record)
+        view = read_journal(path)
+        assert view.records == records
+        assert not view.truncated
+        # Torn tail: chop the file mid-way through its final line.
+        if records:
+            with open(path, "rb") as f:
+                data = f.read()
+            with open(path, "wb") as f:
+                f.write(data[:-3])
+            torn = read_journal(path)
+            assert torn.records == records[:-1]
 
 
 @given(
