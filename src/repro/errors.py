@@ -17,6 +17,14 @@ class ConfigError(ReproError):
     """A configuration value is inconsistent or out of the modelled range."""
 
 
+class ServiceError(ReproError):
+    """A ``repro serve`` request failed (unreachable server, bad job id, ...)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status  #: HTTP status code when the server answered
+
+
 class SecurityError(ReproError):
     """Base class for detected attacks / violated security invariants."""
 

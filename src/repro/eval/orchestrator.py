@@ -69,6 +69,7 @@ class PointRequest:
     experiment: str
     params: Dict[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
+    priority: int = 0  #: higher schedules first (service jobs set it)
 
     @property
     def display(self) -> str:
@@ -126,6 +127,7 @@ class _Job:
     overrides: Dict[str, Any]
     save_artifact: bool = True
     attempt: int = 0  #: 0-based index of the current try (resumes carry over)
+    priority: int = 0
 
 
 @dataclass
@@ -205,16 +207,49 @@ class Orchestrator:
         run_seed: int = 0,
         verbose: bool = True,
         show_text: bool = False,
+        persistent_pool: bool = False,
     ) -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self.use_cache = use_cache
         self.run_seed = run_seed
         self.verbose = verbose
         self.show_text = show_text
+        #: Keep one warm worker pool across run()/run_points() calls (the
+        #: ``repro serve`` mode) instead of building a pool per batch.
+        self.persistent_pool = persistent_pool
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_broken = False
 
     def _log(self, message: str) -> None:
         if self.verbose:
             print(message, flush=True)
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The shared worker pool, (re)built on first use or after a break.
+
+        A :class:`BrokenExecutor` poisons a pool permanently, so a broken
+        persistent pool is recycled rather than resubmitted to — the batch
+        that observed the break still reports its points failed, but the
+        *next* batch gets fresh workers instead of inheriting the corpse.
+        """
+        if self._pool_broken:
+            self.shutdown_pool()
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool_broken = False
+        return self._pool
+
+    def shutdown_pool(self) -> None:
+        """Tear down the persistent worker pool (no-op when none is live)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "Orchestrator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown_pool()
 
     def run(
         self,
@@ -347,6 +382,7 @@ class Orchestrator:
                         overrides=overrides,
                         save_artifact=save_artifacts,
                         attempt=prior_attempts.get(label, 0),
+                        priority=point.priority,
                     )
                 )
 
@@ -380,9 +416,10 @@ class Orchestrator:
         journal: Optional[RunJournal] = None,
         retries: int = 0,
     ) -> None:
-        # Long experiments first so the pool's tail is short.
-        ordered = sorted(pending, key=lambda j: (j.run.cost != "slow",))
-        if self.jobs == 1 or len(pending) == 1:
+        # Higher-priority jobs first, then long experiments so the pool's
+        # tail is short.
+        ordered = sorted(pending, key=lambda j: (-j.priority, j.run.cost != "slow"))
+        if self.jobs == 1 or (len(pending) == 1 and not self.persistent_pool):
             for job in ordered:
                 while True:
                     record, error, error_type = self._run_inline(job)
@@ -392,52 +429,71 @@ class Orchestrator:
                         break
                 self._finish(job, record, error, error_type, cache, stats, journal)
             return
+        if self.persistent_pool:
+            self._drain_pool(self._ensure_pool(), ordered, cache, stats, journal, retries)
+            return
         workers = min(self.jobs, len(ordered))
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _execute_one, job.run.experiment, job.run.seed, job.overrides
-                ): job
-                for job in ordered
-            }
-            while futures:
-                done, _ = concurrent.futures.wait(
-                    futures, return_when=concurrent.futures.FIRST_COMPLETED
-                )
-                for future in done:
-                    job = futures.pop(future)
-                    record, error, error_type = None, None, None
-                    retryable = True
+            self._drain_pool(pool, ordered, cache, stats, journal, retries)
+
+    def _drain_pool(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        ordered: List[_Job],
+        cache: result_cache.ResultCache,
+        stats: Stats,
+        journal: Optional[RunJournal],
+        retries: int,
+    ) -> None:
+        futures = {
+            pool.submit(_execute_one, job.run.experiment, job.run.seed, job.overrides): job
+            for job in ordered
+        }
+        while futures:
+            done, _ = concurrent.futures.wait(
+                futures, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                job = futures.pop(future)
+                record, error, error_type = None, None, None
+                retryable = True
+                try:
+                    record = future.result()
+                except concurrent.futures.BrokenExecutor as exc:
+                    # A worker died hard (segfault/OOM-kill): the pool is
+                    # unusable, so resubmitting could only crash the run.
+                    # Record the failure; the remaining futures drain the
+                    # same way and the report/journal stay complete.
+                    error, error_type = format_error(exc), type(exc).__name__
+                    retryable = False
+                    self._pool_broken = True
+                except Exception as exc:
+                    error, error_type = format_error(exc), type(exc).__name__
+                if (
+                    record is None
+                    and retryable
+                    and self._maybe_retry(job, error, error_type, journal, stats, retries)
+                ):
                     try:
-                        record = future.result()
+                        resubmitted = pool.submit(
+                            _execute_one, job.run.experiment, job.run.seed, job.overrides
+                        )
                     except concurrent.futures.BrokenExecutor as exc:
-                        # A worker died hard (segfault/OOM-kill): the pool is
-                        # unusable, so resubmitting could only crash the run.
-                        # Record the failure; the remaining futures drain the
-                        # same way and the report/journal stay complete.
-                        error, error_type = format_error(exc), type(exc).__name__
-                        retryable = False
-                    except Exception as exc:
-                        error, error_type = format_error(exc), type(exc).__name__
-                    if (
-                        record is None
-                        and retryable
-                        and self._maybe_retry(job, error, error_type, journal, stats, retries)
-                    ):
-                        try:
-                            resubmitted = pool.submit(
-                                _execute_one, job.run.experiment, job.run.seed, job.overrides
-                            )
-                        except concurrent.futures.BrokenExecutor as exc:
-                            # The pool broke between the failure and the retry.
-                            self._finish(
-                                job, None, format_error(exc), type(exc).__name__,
-                                cache, stats, journal,
-                            )
-                        else:
-                            futures[resubmitted] = job
+                        # The pool broke between the failure and the retry.
+                        self._pool_broken = True
+                        self._finish(
+                            job,
+                            None,
+                            format_error(exc),
+                            type(exc).__name__,
+                            cache,
+                            stats,
+                            journal,
+                        )
                     else:
-                        self._finish(job, record, error, error_type, cache, stats, journal)
+                        futures[resubmitted] = job
+                else:
+                    self._finish(job, record, error, error_type, cache, stats, journal)
 
     def _run_inline(self, job: _Job):
         try:

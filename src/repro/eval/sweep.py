@@ -77,6 +77,15 @@ MODES = (MODE_GRID, MODE_ZIP)
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
 
 
+class NoJournalError(ConfigError):
+    """``sweep status`` found no journal at all: the sweep never ran.
+
+    A distinct class (and a distinct CLI exit code) so automation can
+    tell "nothing has ever run" apart from an incomplete run reporting
+    pending points — the two look identical in a plain status count.
+    """
+
+
 @dataclass(frozen=True)
 class Axis:
     """One swept parameter (dotted path) and its values, in sweep order."""
@@ -881,6 +890,7 @@ def run_sweep(
     shard: Optional[Shard] = None,
     resume: bool = False,
     retries: int = 0,
+    orchestrator: Optional[Orchestrator] = None,
 ) -> SweepResult:
     """Expand ``spec`` and run every point through the orchestrator.
 
@@ -895,9 +905,19 @@ def run_sweep(
     :func:`merge_shards`); ``resume`` replays the journal plus the result
     cache and schedules only incomplete points; ``retries`` bounds
     re-execution of flaky points before they are quarantined.
+
+    ``orchestrator`` is the service (sweep-as-job) entry: pass a live
+    :class:`Orchestrator` — typically one holding a persistent worker
+    pool — and the sweep is scheduled on it instead of a throwaway
+    instance. Its ``jobs``/``use_cache`` settings take precedence over
+    the same-named arguments here; its ``run_seed`` is set to the spec's
+    seed so cache keys and resume planning stay consistent.
     """
     if retries < 0:
         raise ConfigError(f"retries must be >= 0, got {retries}")
+    if orchestrator is not None:
+        orchestrator.run_seed = spec.seed
+        use_cache = orchestrator.use_cache
     if resume and not use_cache:
         raise ConfigError(
             "--resume replays completed points from the result cache; "
@@ -930,7 +950,10 @@ def run_sweep(
         )
         for point in points
     ]
-    orchestrator = Orchestrator(jobs=jobs, use_cache=use_cache, run_seed=spec.seed, verbose=verbose)
+    if orchestrator is None:
+        orchestrator = Orchestrator(
+            jobs=jobs, use_cache=use_cache, run_seed=spec.seed, verbose=verbose
+        )
     report = orchestrator.run_points(
         requests,
         write_manifest=True,
@@ -1116,7 +1139,10 @@ def sweep_status(spec: SweepSpec) -> dict:
         ]
     paths = [p for p in candidates if os.path.isfile(p)]
     if not paths:
-        raise ConfigError(f"no run journal under {base}; nothing has run for sweep {spec.name!r}")
+        raise NoJournalError(
+            f"no run journal found under {base}; sweep {spec.name!r} has never run "
+            f"(start it with `sweep run {spec.name}`)"
+        )
     views = [read_journal(p) for p in paths]
     headers = [v.header for v in views if v.header is not None]
     newest = max(headers, key=lambda h: str(h.get("created_at", ""))) if headers else None
@@ -1136,9 +1162,7 @@ def sweep_status(spec: SweepSpec) -> dict:
     expected = expected_keys(spec, points)
     # Latest record per label by write timestamp, not journal file order —
     # a fresh unsharded run supersedes stale shard journals and vice versa.
-    ordered = sorted(
-        (record for view in kept for record in view.records), key=lambda r: r.ts
-    )
+    ordered = sorted((record for view in kept for record in view.records), key=lambda r: r.ts)
     last: Dict[str, PointRecord] = {}
     for record in ordered:
         last[record.label] = record

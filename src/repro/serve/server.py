@@ -1,0 +1,450 @@
+"""The ``repro serve`` service: HTTP front end + single-executor back end.
+
+Architecture::
+
+    clients ──HTTP──▶ ThreadingHTTPServer (handler threads)
+                          │  submit / status / result / cancel
+                          ▼
+                      JobStore  (fsynced jobs.jsonl — the only state)
+                          ▲
+                          │  claim / finish
+                      executor thread ──▶ Orchestrator (persistent pool)
+
+Handler threads only ever touch the store (plus a synchronous result-
+cache probe at submit time); the single executor thread drains the queue
+in priority order and runs each job on one long-lived process pool, so
+the pool's warm workers and the content-hash cache are shared across
+every submission. All service state lives in the store's journal: kill
+the process at any point and a restart resumes the queue.
+
+``--once`` is the CI mode: the service exits by itself once at least one
+job exists, nothing is queued or running, and no request has arrived for
+``grace`` seconds — long enough for a test to submit, wait, and resubmit
+for the cache-hit assertion before the server stands down.
+
+(`REPRO_SERVE_NO_EXECUTOR=1` starts the server without its executor
+thread — a fault-injection knob for the kill/restart tests only.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.eval import cache as result_cache
+from repro.eval.journal import JOB_DONE, JOB_FAILED, JobRecord
+from repro.eval.orchestrator import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    Orchestrator,
+    PointRequest,
+    derive_seed,
+    format_error,
+)
+from repro.eval.registry import normalize_params
+from repro.eval.tables import save_result
+from repro.serve import schema
+from repro.serve.store import JobStore
+
+#: How long the executor naps between empty queue polls.
+_POLL_S = 0.05
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    service: "JobService"
+
+
+class JobService:
+    """One queue directory, one HTTP endpoint, one executor, one pool."""
+
+    def __init__(
+        self,
+        queue_dir: Optional[str] = None,
+        host: str = schema.DEFAULT_HOST,
+        port: int = schema.DEFAULT_PORT,
+        workers: Optional[int] = None,
+        once: bool = False,
+        grace: float = 5.0,
+        verbose: bool = True,
+        start_executor: bool = True,
+    ) -> None:
+        self.store = JobStore(queue_dir)
+        self.orchestrator = Orchestrator(jobs=workers, verbose=False, persistent_pool=True)
+        self.once = once
+        self.grace = grace
+        self.verbose = verbose
+        self.start_executor = start_executor
+        self.source_digest = result_cache.source_digest()
+        self._stop = threading.Event()
+        self._failed_jobs = 0
+        self._last_activity = time.monotonic()
+        self._threads: List[threading.Thread] = []
+        try:
+            self.httpd = _Server((host, port), _Handler)
+        except OSError as exc:
+            raise ConfigError(f"cannot bind {host}:{port}: {exc}") from exc
+        self.httpd.service = self
+        self.host, self.port = self.httpd.server_address[:2]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the HTTP thread (and the executor unless disabled)."""
+        http = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+        http.start()
+        self._threads.append(http)
+        if self.start_executor:
+            executor = threading.Thread(target=self._executor_loop, daemon=True)
+            executor.start()
+            self._threads.append(executor)
+        self._log(
+            f"serving on http://{self.host}:{self.port}{schema.API_PREFIX} "
+            f"(queue: {self.store.root}, workers: {self.orchestrator.jobs}"
+            f"{', once' if self.once else ''})"
+        )
+
+    def run(self) -> int:
+        """Serve until shut down; exit 0 unless a job failed."""
+        self.start()
+        try:
+            while not self._stop.wait(0.1):
+                pass
+        except KeyboardInterrupt:
+            self._log("interrupted; shutting down")
+        finally:
+            self.close()
+        return 0 if self._failed_jobs == 0 else 1
+
+    def request_shutdown(self) -> None:
+        """Ask the service to stop (the running job finishes first)."""
+        self._stop.set()
+
+    def close(self) -> None:
+        """Stop every thread, the HTTP listener, and the worker pool."""
+        self._stop.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=30)
+        self._threads.clear()
+        self.orchestrator.shutdown_pool()
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[serve] {message}", flush=True)
+
+    def touch(self) -> None:
+        """Note client activity (defers the ``--once`` drain exit)."""
+        self._last_activity = time.monotonic()
+
+    # -- submission (handler threads) ------------------------------------------
+
+    def submit(self, payload: Any) -> JobRecord:
+        """Validate, cache-probe, and enqueue one submission."""
+        spec, priority = schema.validate_submission(payload)
+        fp = schema.fingerprint(spec, self.source_digest)
+        cached = self._probe_cache(spec, fp)
+        record = self.store.submit(spec, priority=priority, fingerprint=fp, cached_result=cached)
+        self._log(
+            f"job {record.job_id} submitted: {spec['task']}"
+            + (" (cache hit)" if cached is not None else "")
+        )
+        return record
+
+    def _probe_cache(self, spec: Dict[str, Any], fp: str) -> Optional[dict]:
+        """A terminal result for this spec, if one is already durable.
+
+        Experiments probe the content-hash result cache directly (hitting
+        results computed by ``repro run`` or earlier jobs alike); sweeps
+        and bench runs are served from the newest completed job with the
+        same fingerprint.
+        """
+        if spec["task"] == schema.TASK_EXPERIMENT:
+            name = spec["experiment"]
+            seed = derive_seed(spec["seed"], name)
+            key = result_cache.cache_key(
+                name, normalize_params(dict(spec["params"])), seed, self.source_digest
+            )
+            entry = result_cache.ResultCache().load(name, key)
+            if entry is None:
+                return None
+            return {
+                "task": schema.TASK_EXPERIMENT,
+                "status": STATUS_CACHED,
+                "cached": True,
+                "artifact": save_result(name, entry.text),
+                "text": entry.text,
+                "elapsed_s": entry.elapsed_s,
+                "cache_key": key,
+                "summary": entry.summary,
+            }
+        prior = self.store.find_completed(fp)
+        if prior is None:
+            return None
+        result = dict(prior.result or {})
+        result["cached"] = True
+        return result
+
+    # -- execution (the executor thread) ---------------------------------------
+
+    def _executor_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.store.claim()
+                if job is None:
+                    if self.once and self._drained():
+                        self._log("queue drained; exiting (--once)")
+                        self._stop.set()
+                        break
+                    self._stop.wait(_POLL_S)
+                    continue
+                self.touch()
+                self._execute(job)
+                self.touch()
+            except Exception as exc:
+                # A store I/O failure (disk full, EIO on the journal
+                # fsync) must not kill the executor silently while the
+                # HTTP side keeps accepting work; log, count it as a
+                # failure, back off, retry. Restart recovery re-enqueues
+                # any job caught between claim and finish.
+                self._failed_jobs += 1
+                print(f"[serve] executor error: {format_error(exc)}", flush=True)
+                self._stop.wait(1.0)
+
+    def _drained(self) -> bool:
+        return (
+            self.store.total() > 0
+            and self.store.active() == 0
+            and time.monotonic() - self._last_activity > self.grace
+        )
+
+    def _execute(self, job: JobRecord) -> None:
+        self._log(f"job {job.job_id} running: {job.task} (priority {job.priority})")
+        start = time.perf_counter()
+        try:
+            ok, result, error, error_type = self._run_job(job)
+        except Exception as exc:  # a job must never kill the executor
+            ok, result = False, None
+            error, error_type = format_error(exc), type(exc).__name__
+        elapsed = time.perf_counter() - start
+        if not ok:
+            self._failed_jobs += 1
+        record = self.store.finish(
+            job.job_id,
+            status=JOB_DONE if ok else JOB_FAILED,
+            result=result,
+            error=error,
+            error_type=error_type,
+            elapsed_s=elapsed,
+        )
+        self._log(f"job {record.job_id} {record.status} in {elapsed:.1f}s")
+
+    def _run_job(self, job: JobRecord) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
+        spec = job.spec
+        if job.task == schema.TASK_EXPERIMENT:
+            return self._run_experiment(job, spec)
+        if job.task == schema.TASK_SWEEP:
+            return self._run_sweep(job, spec)
+        return self._run_bench(spec)
+
+    def _run_experiment(
+        self, job: JobRecord, spec: Dict[str, Any]
+    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
+        self.orchestrator.run_seed = spec["seed"]
+        report = self.orchestrator.run_points(
+            [
+                PointRequest(
+                    experiment=spec["experiment"],
+                    params=dict(spec["params"]),
+                    priority=job.priority,
+                )
+            ],
+            write_manifest=False,
+        )
+        run = report.runs[0]
+        if run.status == STATUS_FAILED:
+            return False, None, run.error, run.error_type
+        result = {
+            "task": schema.TASK_EXPERIMENT,
+            "status": run.status,
+            "cached": run.status == STATUS_CACHED,
+            "artifact": run.artifact,
+            "text": run.text,
+            "elapsed_s": run.elapsed_s,
+            "cache_key": run.cache_key,
+            "summary": run.summary,
+        }
+        return True, result, None, None
+
+    def _run_sweep(
+        self, job: JobRecord, spec: Dict[str, Any]
+    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
+        from repro.eval import sweep as sweep_mod
+
+        sweep_spec = sweep_mod.load_spec(spec["spec"])
+        outcome = sweep_mod.run_sweep(
+            sweep_spec,
+            quick=spec["quick"],
+            limit=spec["limit"],
+            verbose=False,
+            orchestrator=self.orchestrator,
+        )
+        result = {
+            "task": schema.TASK_SWEEP,
+            "cached": all(r.status == STATUS_CACHED for r in outcome.report.runs),
+            "document": outcome.document(),
+            "json_path": outcome.json_path,
+            "csv_path": outcome.csv_path,
+        }
+        if outcome.ok:
+            return True, result, None, None
+        failed = [r for r in outcome.report.runs if r.status == STATUS_FAILED]
+        return False, result, failed[0].error, failed[0].error_type
+
+    def _run_bench(
+        self, spec: Dict[str, Any]
+    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
+        from repro.perf.harness import run_benchmarks, validate_report
+        from repro.perf.registry import BENCH_REGISTRY
+
+        specs = BENCH_REGISTRY.select(only=spec["only"])
+        report = run_benchmarks(specs, quick=spec["quick"], progress=None)
+        problems = validate_report(report)
+        if problems:
+            return False, None, "invalid bench report: " + "; ".join(problems), "ValueError"
+        return True, {"task": schema.TASK_BENCH, "cached": False, "report": report}, None, None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON router over :class:`JobService` (see the wire schema)."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    server: _Server
+
+    @property
+    def service(self) -> JobService:
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.service.verbose:
+            print(f"[serve] {self.address_string()} {format % args}", flush=True)
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if not path.startswith(schema.API_PREFIX):
+            return ()
+        return tuple(p for p in path[len(schema.API_PREFIX) :].split("/") if p)
+
+    def _read_body(self) -> bytes:
+        """Drain the request body regardless of route.
+
+        Under HTTP/1.1 keep-alive, unread body bytes would be parsed as
+        the *next* request line on the connection — so every POST must
+        consume its body even when the route ignores it.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _guarded(self, respond: Any) -> None:
+        """Run one route, mapping failures onto wire-schema errors."""
+        try:
+            respond()
+        except ConfigError as exc:
+            code = 404 if "unknown job id" in str(exc) else 400
+            if "only queued jobs" in str(exc) or "not running" in str(exc):
+                code = 409
+            self._send(code, schema.error_body(str(exc)))
+        except Exception as exc:  # never drop the connection without a body
+            try:
+                self._send(500, schema.error_body(f"internal error: {format_error(exc)}"))
+            except OSError:
+                pass  # client already gone; nothing left to answer
+
+    def do_GET(self) -> None:
+        self.service.touch()
+        self._guarded(self._get)
+
+    def _get(self) -> None:
+        route = self._route()
+        if route == ("health",):
+            store = self.service.store
+            self._send(
+                200,
+                {
+                    "schema": schema.SERVE_SCHEMA,
+                    "status": "ok",
+                    "queue_dir": store.root,
+                    "jobs": store.total(),
+                    "counts": store.counts(),
+                    "workers": self.service.orchestrator.jobs,
+                    "once": self.service.once,
+                    "source_digest": self.service.source_digest,
+                },
+            )
+        elif route == ("jobs",):
+            views = [schema.job_view(r) for r in self.service.store.jobs()]
+            self._send(200, {"jobs": views})
+        elif len(route) == 2 and route[0] == "jobs":
+            self._send(200, schema.job_view(self.service.store.get(route[1])))
+        elif len(route) == 3 and route[0] == "jobs" and route[2] == "result":
+            record = self.service.store.get(route[1])
+            if not record.terminal:
+                self._send(
+                    409,
+                    schema.error_body(
+                        f"job {record.job_id} is {record.status!r}; result not ready"
+                    ),
+                )
+                return
+            self._send(200, schema.job_view(record, result=True))
+        else:
+            self._send(404, schema.error_body(f"no such endpoint: GET {self.path}"))
+
+    def do_POST(self) -> None:
+        self.service.touch()
+        body = self._read_body()
+        self._guarded(lambda: self._post(body))
+
+    def _post(self, body: bytes) -> None:
+        route = self._route()
+        if route == ("jobs",):
+            record = self.service.submit(schema.parse_body(body))
+            self._send(200, schema.job_view(record))
+        elif len(route) == 3 and route[0] == "jobs" and route[2] == "cancel":
+            record = self.service.store.get(route[1])  # 404 before 409
+            self._send(200, schema.job_view(self.service.store.cancel(record.job_id)))
+        elif route == ("shutdown",):
+            self._send(200, {"status": "stopping"})
+            self.service.request_shutdown()
+        else:
+            self._send(404, schema.error_body(f"no such endpoint: POST {self.path}"))
+
+
+def build_service(args: Any) -> JobService:
+    """CLI entry: a :class:`JobService` from ``repro serve`` arguments."""
+    return JobService(
+        queue_dir=args.queue_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        once=args.once,
+        grace=args.grace,
+        verbose=not args.quiet,
+        start_executor=os.environ.get("REPRO_SERVE_NO_EXECUTOR") != "1",
+    )
