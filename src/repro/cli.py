@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro {run,list,clean,bench,sweep,digest,serve,jobs}``.
+"""CLI: ``python -m repro {run,list,clean,bench,sweep,digest,serve,worker,jobs}``.
 
 Examples::
 
@@ -18,8 +18,10 @@ Examples::
     python -m repro sweep status npu_scaling
     python -m repro digest --check benchmarks/artifact_digests.json
     python -m repro serve --port 8765 --workers 4
+    python -m repro serve --external-only --autosplit 3
+    python -m repro worker --server 127.0.0.1:8765 --lease-ttl 60 --once
     python -m repro jobs submit experiment fig16_overall --wait
-    python -m repro jobs submit sweep mee_geometry --quick
+    python -m repro jobs submit sweep mee_geometry --quick --shards 3
     python -m repro jobs status <id> / wait <id> / result <id> / cancel <id> / list
 
 See EXPERIMENTS.md for the experiment catalogue, the sweep-spec format,
@@ -226,7 +228,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--grace", type=float, default=5.0, metavar="SECONDS",
         help="idle time after the last request before --once exits (default: 5)",
     )
+    serve.add_argument(
+        "--external-only", action="store_true",
+        help="never execute jobs in-process; only `repro worker` processes "
+        "drain the queue (the server still merges sweep fan-outs)",
+    )
+    serve.add_argument(
+        "--autosplit", type=int, default=1, metavar="N",
+        help="fan sweep submissions out into N shard jobs by default "
+        "(clamped to the matrix size; default: 1 = no fan-out)",
+    )
     serve.add_argument("--quiet", "-q", action="store_true", help="no request/job lines")
+
+    worker = sub.add_parser(
+        "worker", help="remote executor: claim jobs from a `repro serve` queue"
+    )
+    worker.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="serve endpoint to pull from (default: 127.0.0.1:8765)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease length per claim; heartbeats renew it (default: 60)",
+    )
+    worker.add_argument(
+        "--tags", action="append", default=[], metavar="TAG[,TAG...]",
+        help="capabilities this worker offers (claims only jobs it covers)",
+    )
+    worker.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker pool processes (default: CPU count; 1 = in-process serial)",
+    )
+    worker.add_argument(
+        "--once", action="store_true",
+        help="exit once a claim comes back empty and nothing is outstanding "
+        "(fleet drain mode for CI)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="nap between empty claims (default: 0.2)",
+    )
+    worker.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker identity in leases and logs (default: <hostname>-<pid>)",
+    )
+    worker.add_argument("--quiet", "-q", action="store_true", help="no per-job lines")
 
     jobs = sub.add_parser("jobs", help="client for a running `repro serve`")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
@@ -261,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME[,NAME...]",
         help="bench: run only these benchmarks",
+    )
+    jobs_submit.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="sweep: fan out into N shard jobs a worker fleet work-steals",
+    )
+    jobs_submit.add_argument(
+        "--shard", metavar="K/N", default=None,
+        help="sweep: submit only slice K of N (see `sweep run --shard`)",
     )
     jobs_submit.add_argument(
         "--priority", type=int, default=0, help="higher runs first (default: 0)"
@@ -586,6 +640,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return build_service(args).run()
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.serve import schema as serve_schema
+    from repro.serve.worker import build_worker
+
+    if args.server is None:
+        args.server = f"{serve_schema.DEFAULT_HOST}:{serve_schema.DEFAULT_PORT}"
+    if args.lease_ttl is None:
+        args.lease_ttl = serve_schema.DEFAULT_LEASE_TTL
+    if args.lease_ttl <= 0:
+        raise ConfigError(f"--lease-ttl must be > 0, got {args.lease_ttl}")
+    if args.poll <= 0:
+        raise ConfigError(f"--poll must be > 0, got {args.poll}")
+    args.tags = _split_names(args.tags) or []
+    return build_worker(args).run()
+
+
 def _reject_flags(task: str, given: dict) -> None:
     """Refuse `jobs submit` flags the chosen task would silently ignore."""
     offending = sorted(flag for flag, used in given.items() if used)
@@ -599,12 +669,18 @@ def _reject_flags(task: str, given: dict) -> None:
 def _submission_payload(args: argparse.Namespace) -> dict:
     """Build the wire submission from `jobs submit` arguments."""
     payload: dict = {"task": args.task, "priority": args.priority}
+    sharding = {"--shards": args.shards is not None, "--shard": args.shard is not None}
     if args.task == "experiment":
         if not args.target:
             raise ConfigError("jobs submit experiment needs an experiment name")
         _reject_flags(
             "experiment",
-            {"--quick": args.quick, "--limit": args.limit is not None, "--only": bool(args.only)},
+            {
+                "--quick": args.quick,
+                "--limit": args.limit is not None,
+                "--only": bool(args.only),
+                **sharding,
+            },
         )
         params = {}
         if args.params is not None:
@@ -627,6 +703,10 @@ def _submission_payload(args: argparse.Namespace) -> dict:
             },
         )
         payload.update({"spec": args.target, "quick": args.quick, "limit": args.limit})
+        if args.shards is not None:
+            payload["shards"] = args.shards
+        if args.shard is not None:
+            payload["shard"] = args.shard
     else:  # bench
         if args.target:
             raise ConfigError(
@@ -639,6 +719,7 @@ def _submission_payload(args: argparse.Namespace) -> dict:
                 "--params": args.params is not None,
                 "--seed": args.seed != 0,
                 "--limit": args.limit is not None,
+                **sharding,
             },
         )
         payload.update({"quick": args.quick, "only": _split_names(args.only)})
@@ -793,6 +874,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": cmd_sweep,
         "digest": cmd_digest,
         "serve": cmd_serve,
+        "worker": cmd_worker,
         "jobs": cmd_jobs,
     }[args.command]
     try:

@@ -45,7 +45,11 @@ KIND_JOB = "job"
 #: Lifecycle of a queued service job (``repro serve``): a submission is
 #: appended as ``submitted``, claimed as ``running``, and finished as one
 #: of the terminal statuses. The newest record per ``job_id`` wins, so the
-#: whole queue state is reconstructable from the journal alone.
+#: whole queue state is reconstructable from the journal alone. Lease
+#: transitions (a remote ``repro worker`` claiming, heartbeating, or
+#: losing a job) are plain ``running``/``submitted`` records carrying the
+#: ``worker``/``lease_expires_at`` fields — liveness state is journaled,
+#: never held only in server memory.
 JOB_SUBMITTED = "submitted"
 JOB_RUNNING = "running"
 JOB_DONE = "done"
@@ -119,6 +123,12 @@ class JobRecord:
     result: Optional[dict] = None  #: terminal payload (artifact/document/report)
     submitted_at: float = 0.0  #: wall-clock submission time (time.time())
     ts: float = 0.0  #: wall-clock write time of this record
+    worker: str = ""  #: id of the worker (or server) holding the job
+    lease_ttl: float = 0.0  #: lease length granted at claim (0 = no lease)
+    lease_expires_at: float = 0.0  #: wall-clock lease expiry (0 = no lease)
+    tags: List[str] = field(default_factory=list)  #: routing tags (worker capabilities)
+    parent: str = ""  #: fan-out parent job id (sweep shard jobs)
+    children: List[str] = field(default_factory=list)  #: shard job ids (fan-out parents)
 
     def to_json(self) -> dict:
         payload: Dict[str, Any] = {"kind": KIND_JOB, "schema": JOURNAL_SCHEMA}

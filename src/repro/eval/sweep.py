@@ -991,7 +991,9 @@ def _uniform(docs: List[dict], key: str, context: str) -> Any:
     return docs[0].get(key)
 
 
-def merge_shards(spec: SweepSpec, verbose: bool = True) -> Tuple[dict, str, str]:
+def merge_shards(
+    spec: SweepSpec, verbose: bool = True, expect_count: Optional[int] = None
+) -> Tuple[dict, str, str]:
     """Consolidate per-shard runs into the single ``sweep.json`` + CSV.
 
     Reads every ``shards/*/sweep.json`` under the sweep's output tree,
@@ -999,6 +1001,11 @@ def merge_shards(spec: SweepSpec, verbose: bool = True) -> Tuple[dict, str, str]
     source digest, disjoint points) and together cover the full expanded
     matrix, then writes the consolidated document exactly where an
     unsharded run would have: ``results/sweeps/<name>/``.
+
+    ``expect_count`` pins the shard width the caller fanned out (the
+    serve layer's merge step passes its child count) so a stale shard
+    tree from an earlier, differently-sized run is refused instead of
+    silently merged.
     """
     base = sweep_dir(spec.name)
     shards_root = os.path.join(base, "shards")
@@ -1036,6 +1043,11 @@ def merge_shards(spec: SweepSpec, verbose: bool = True) -> Tuple[dict, str, str]
     if len(counts) != 1:
         raise ConfigError(f"{context}: mixed shard counts {sorted(counts)}")
     count = counts.pop()
+    if expect_count is not None and count != expect_count:
+        raise ConfigError(
+            f"{context}: expected a {expect_count}-way shard tree, found {count}-way; "
+            "a stale tree from an earlier run is in the way"
+        )
     indices = sorted(doc["shard"]["index"] for doc in docs)
     if indices != list(range(1, count + 1)):
         missing = sorted(set(range(1, count + 1)) - set(indices))

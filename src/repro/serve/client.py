@@ -81,6 +81,47 @@ class ServeClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/jobs/{job_id}/cancel", {})
 
+    def claim(
+        self,
+        worker: str,
+        lease_ttl: float = schema.DEFAULT_LEASE_TTL,
+        tags: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """Lease the best pending job; ``{"job": view|None, "outstanding": N, "total": N}``."""
+        return self._request(
+            "POST",
+            "/jobs/claim",
+            {"worker": worker, "lease_ttl": lease_ttl, "tags": list(tags or [])},
+        )
+
+    def heartbeat(self, job_id: str, worker: str) -> Dict[str, Any]:
+        """Renew a held lease; 409 :class:`ServiceError` once it is lost."""
+        return self._request("POST", f"/jobs/{job_id}/heartbeat", {"worker": worker})
+
+    def complete(
+        self,
+        job_id: str,
+        worker: str,
+        ok: bool,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+        error_type: Optional[str] = None,
+        elapsed_s: float = 0.0,
+    ) -> Dict[str, Any]:
+        """Report a leased job's terminal outcome; returns the final view."""
+        return self._request(
+            "POST",
+            f"/jobs/{job_id}/complete",
+            {
+                "worker": worker,
+                "ok": ok,
+                "result": result,
+                "error": error,
+                "error_type": error_type,
+                "elapsed_s": elapsed_s,
+            },
+        )
+
     def shutdown(self) -> Dict[str, Any]:
         return self._request("POST", "/shutdown", {})
 

@@ -12,6 +12,12 @@ the ``/v1`` prefix:
 ``GET  /v1/jobs/<id>``    one job view (status, attempts, error traceback)
 ``GET  /v1/jobs/<id>/result``  terminal payload (409 until the job finishes)
 ``POST /v1/jobs/<id>/cancel``  cancel a still-queued job (409 otherwise)
+``POST /v1/jobs/claim``   lease the best pending job to a remote worker
+                          (body: ``{"worker", "lease_ttl", "tags"}``);
+                          ``{"job": null, "outstanding": N, "total": N}``
+                          when idle
+``POST /v1/jobs/<id>/heartbeat``  extend a held lease (409 once lost)
+``POST /v1/jobs/<id>/complete``   report a leased job's terminal outcome
 ``POST /v1/shutdown``     graceful stop: finish the running job, then exit
 ========================  ======================================================
 
@@ -20,9 +26,16 @@ A *submission* body names a task and its arguments::
     {"task": "experiment", "experiment": "fig16_overall",
      "params": {...}, "seed": 0, "priority": 0}
     {"task": "sweep", "spec": "mee_geometry", "quick": true,
-     "limit": null, "priority": 0}
+     "limit": null, "priority": 0, "shards": 3}
     {"task": "bench", "quick": true, "only": ["crypto.aes_blocks"],
      "priority": 0}
+
+A sweep submission may fan out: ``shards: N`` (or the server's
+``--autosplit`` default) splits the matrix into N deterministic
+round-robin slice jobs — the same partition as ``sweep run --shard K/N``
+— that a worker fleet work-steals independently; the server merges the
+canonical ``sweep.json``/CSV once every shard lands. ``shard: "K/N"``
+instead submits exactly one slice.
 
 :func:`validate_submission` canonicalizes a body (defaults filled,
 unknown keys rejected, experiment params checked against the registry
@@ -58,6 +71,9 @@ TASK_SWEEP = "sweep"
 TASK_BENCH = "bench"
 TASKS = (TASK_EXPERIMENT, TASK_SWEEP, TASK_BENCH)
 
+#: Lease length a worker gets when its claim names none (seconds).
+DEFAULT_LEASE_TTL = 60.0
+
 
 def _require_bool(value: Any, name: str) -> bool:
     if not isinstance(value, bool):
@@ -71,7 +87,15 @@ def _require_int(value: Any, name: str) -> int:
     return value
 
 
-def validate_submission(payload: Any) -> Tuple[Dict[str, Any], int]:
+def _require_tags(value: Any, name: str = "tags") -> list:
+    if value is None:
+        return []
+    if not isinstance(value, list) or not all(isinstance(t, str) and t for t in value):
+        raise ConfigError(f"{name!r} must be a list of non-empty strings, got {value!r}")
+    return sorted(set(value))
+
+
+def validate_submission(payload: Any, autosplit: int = 1) -> Tuple[Dict[str, Any], int]:
     """Canonicalize a submission body; returns ``(spec, priority)``.
 
     The canonical spec is a plain JSON-safe dict with every default made
@@ -79,6 +103,12 @@ def validate_submission(payload: Any) -> Tuple[Dict[str, Any], int]:
     ``priority`` rides outside the spec so that submitting the same work
     at a different priority still deduplicates. Any problem raises
     :class:`ConfigError` (the server answers 400; nothing is enqueued).
+
+    ``autosplit`` is the server's default sweep fan-out width: a sweep
+    submission naming neither ``shards`` nor ``shard`` splits into that
+    many slice jobs. The width is clamped to the expanded point count and
+    a resolved width of 1 leaves the spec shard-free, so specs (and
+    therefore fingerprints) of non-fanned sweeps are unchanged.
     """
     if not isinstance(payload, Mapping):
         raise ConfigError(f"submission must be a JSON object, got {type(payload).__name__}")
@@ -86,7 +116,8 @@ def validate_submission(payload: Any) -> Tuple[Dict[str, Any], int]:
     if task not in TASKS:
         raise ConfigError(f"submission 'task' must be one of {TASKS}, got {task!r}")
     priority = _require_int(payload.get("priority", 0), "priority")
-    known = {"task", "priority"}
+    _require_tags(payload.get("tags"))
+    known = {"task", "priority", "tags"}
     spec: Dict[str, Any] = {"task": task}
     if task == TASK_EXPERIMENT:
         known |= {"experiment", "params", "seed"}
@@ -103,8 +134,8 @@ def validate_submission(payload: Any) -> Tuple[Dict[str, Any], int]:
         spec["params"] = normalize_params(params)
         spec["seed"] = _require_int(payload.get("seed", 0), "seed")
     elif task == TASK_SWEEP:
-        known |= {"spec", "quick", "limit"}
-        from repro.eval.sweep import load_spec
+        known |= {"spec", "quick", "limit", "shard", "shards"}
+        from repro.eval.sweep import expand, load_spec, parse_shard
 
         name = payload.get("spec")
         if not isinstance(name, str) or not name:
@@ -118,6 +149,25 @@ def validate_submission(payload: Any) -> Tuple[Dict[str, Any], int]:
         spec["spec"] = sweep_spec.name if not name.endswith(".toml") else name
         spec["quick"] = _require_bool(payload.get("quick", False), "quick")
         spec["limit"] = limit
+        shard = payload.get("shard")
+        shards = payload.get("shards")
+        if shard is not None and shards is not None:
+            raise ConfigError("sweep submission takes 'shard' or 'shards', not both")
+        if shard is not None:
+            if not isinstance(shard, str):
+                raise ConfigError(f"'shard' must be a K/N string, got {shard!r}")
+            parsed = parse_shard(shard)
+            if parsed.count > 1:  # 1/1 is the whole matrix: canonically shard-free
+                spec["shard"] = f"{parsed.index}/{parsed.count}"
+        else:
+            width = shards if shards is not None else autosplit
+            width = _require_int(width, "shards")
+            if width < 1:
+                raise ConfigError(f"'shards' must be >= 1, got {width}")
+            if width > 1:
+                width = min(width, len(expand(sweep_spec, quick=spec["quick"], limit=limit)))
+            if width > 1:
+                spec["shards"] = width
     else:  # TASK_BENCH
         known |= {"quick", "only"}
         from repro.perf.registry import BENCH_REGISTRY
@@ -135,6 +185,86 @@ def validate_submission(payload: Any) -> Tuple[Dict[str, Any], int]:
     if unknown:
         raise ConfigError(f"unknown submission field(s) {unknown} for task {task!r}")
     return spec, priority
+
+
+def submission_tags(payload: Mapping[str, Any]) -> list:
+    """Routing tags of a submission body, canonicalized (sorted, unique).
+
+    Tags constrain *where* a job may run — a worker claims a job only
+    when its own tags cover the job's — and ride outside the canonical
+    spec so they never perturb fingerprints.
+    """
+    return _require_tags(payload.get("tags"))
+
+
+def shard_specs(spec: Mapping[str, Any]) -> list:
+    """The child slice specs of a fan-out sweep spec.
+
+    Each child is the parent spec with ``shards`` dropped and an explicit
+    ``shard: "K/N"`` slice — exactly what ``sweep run --shard K/N``
+    executes, so shard trees merge with the existing ``sweep merge``
+    machinery.
+    """
+    count = spec.get("shards", 1)
+    base = {k: v for k, v in spec.items() if k != "shards"}
+    return [dict(base, shard=f"{k}/{count}") for k in range(1, count + 1)]
+
+
+def validate_claim(payload: Any) -> Tuple[str, float, list]:
+    """Canonicalize a ``/jobs/claim`` body: ``(worker, lease_ttl, tags)``."""
+    if not isinstance(payload, Mapping):
+        raise ConfigError(f"claim must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - {"worker", "lease_ttl", "tags"})
+    if unknown:
+        raise ConfigError(f"unknown claim field(s) {unknown}")
+    worker = payload.get("worker")
+    if not isinstance(worker, str) or not worker:
+        raise ConfigError("claim needs a non-empty 'worker' id")
+    ttl = payload.get("lease_ttl", DEFAULT_LEASE_TTL)
+    if isinstance(ttl, bool) or not isinstance(ttl, (int, float)) or ttl <= 0:
+        raise ConfigError(f"'lease_ttl' must be a positive number of seconds, got {ttl!r}")
+    return worker, float(ttl), _require_tags(payload.get("tags"))
+
+
+def validate_complete(payload: Any) -> Dict[str, Any]:
+    """Canonicalize a ``/jobs/<id>/complete`` body.
+
+    Returns ``{"worker", "ok", "result", "error", "error_type",
+    "elapsed_s"}`` with defaults filled; the failure fields are required
+    exactly when ``ok`` is false.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigError(f"completion must be a JSON object, got {type(payload).__name__}")
+    known = {"worker", "ok", "result", "error", "error_type", "elapsed_s"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ConfigError(f"unknown completion field(s) {unknown}")
+    worker = payload.get("worker")
+    if not isinstance(worker, str) or not worker:
+        raise ConfigError("completion needs a non-empty 'worker' id")
+    ok = _require_bool(payload.get("ok"), "ok")
+    result = payload.get("result")
+    if result is not None and not isinstance(result, Mapping):
+        raise ConfigError(f"'result' must be a JSON object, got {type(result).__name__}")
+    error = payload.get("error")
+    error_type = payload.get("error_type")
+    if not ok and (not isinstance(error, str) or not error):
+        raise ConfigError("a failed completion needs a non-empty 'error' traceback")
+    if error is not None and not isinstance(error, str):
+        raise ConfigError(f"'error' must be a string, got {type(error).__name__}")
+    if error_type is not None and not isinstance(error_type, str):
+        raise ConfigError(f"'error_type' must be a string, got {type(error_type).__name__}")
+    elapsed = payload.get("elapsed_s", 0.0)
+    if isinstance(elapsed, bool) or not isinstance(elapsed, (int, float)) or elapsed < 0:
+        raise ConfigError(f"'elapsed_s' must be a non-negative number, got {elapsed!r}")
+    return {
+        "worker": worker,
+        "ok": ok,
+        "result": None if result is None else dict(result),
+        "error": error,
+        "error_type": error_type,
+        "elapsed_s": float(elapsed),
+    }
 
 
 def fingerprint(spec: Mapping[str, Any], source_digest: str) -> str:
@@ -178,6 +308,11 @@ def job_view(record: JobRecord, result: bool = False) -> Dict[str, Any]:
         "error": record.error,
         "error_type": record.error_type,
         "has_result": record.result is not None,
+        "worker": record.worker,
+        "lease_expires_at": record.lease_expires_at,
+        "tags": list(record.tags),
+        "parent": record.parent,
+        "children": list(record.children),
     }
     if result:
         view["result"] = record.result

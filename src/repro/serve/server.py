@@ -1,28 +1,40 @@
-"""The ``repro serve`` service: HTTP front end + single-executor back end.
+"""The ``repro serve`` service: HTTP front end + supervisor back end.
 
 Architecture::
 
     clients ──HTTP──▶ ThreadingHTTPServer (handler threads)
-                          │  submit / status / result / cancel
+    workers ──HTTP──▶     │  submit / status / result / cancel
+                          │  claim / heartbeat / complete   (lease wire)
                           ▼
                       JobStore  (fsynced jobs.jsonl — the only state)
                           ▲
-                          │  claim / finish
-                      executor thread ──▶ Orchestrator (persistent pool)
+                          │  expire leases / merge fan-outs / claim / finish
+                      supervisor thread ──▶ Orchestrator (persistent pool)
 
 Handler threads only ever touch the store (plus a synchronous result-
-cache probe at submit time); the single executor thread drains the queue
-in priority order and runs each job on one long-lived process pool, so
-the pool's warm workers and the content-hash cache are shared across
-every submission. All service state lives in the store's journal: kill
-the process at any point and a restart resumes the queue.
+cache probe at submit time). The single supervisor thread does the rest,
+every poll tick: reap expired worker leases (re-enqueue, attempt + 1),
+complete fan-out parents whose shard children all landed (by running
+``sweep merge`` over their trees), and — unless ``--external-only`` —
+claim and run the next job on one long-lived process pool, so the pool's
+warm workers and the content-hash cache are shared across every
+submission. All service state lives in the store's journal: kill the
+process at any point and a restart resumes the queue.
+
+Remote ``repro worker`` processes are just another client of the same
+``/v1`` API: they claim under a lease, heartbeat while executing, and
+report completion; a worker that dies mid-job simply stops heartbeating
+and the supervisor re-enqueues the job once the lease lapses. Sweep
+submissions wider than one shard (``shards: N``, or the server's
+``--autosplit`` default) fan out into N slice jobs the fleet
+work-steals; the server consolidates the canonical ``sweep.json``/CSV.
 
 ``--once`` is the CI mode: the service exits by itself once at least one
 job exists, nothing is queued or running, and no request has arrived for
 ``grace`` seconds — long enough for a test to submit, wait, and resubmit
 for the cache-hit assertion before the server stands down.
 
-(`REPRO_SERVE_NO_EXECUTOR=1` starts the server without its executor
+(`REPRO_SERVE_NO_EXECUTOR=1` starts the server without its supervisor
 thread — a fault-injection knob for the kill/restart tests only.)
 """
 
@@ -37,18 +49,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.eval import cache as result_cache
-from repro.eval.journal import JOB_DONE, JOB_FAILED, JobRecord
-from repro.eval.orchestrator import (
-    STATUS_CACHED,
-    STATUS_FAILED,
-    Orchestrator,
-    PointRequest,
-    derive_seed,
-    format_error,
-)
+from repro.eval.journal import JOB_DONE, JOB_FAILED, JOB_SUBMITTED, JobRecord
+from repro.eval.orchestrator import STATUS_CACHED, Orchestrator, derive_seed, format_error
 from repro.eval.registry import normalize_params
 from repro.eval.tables import save_result
 from repro.serve import schema
+from repro.serve.execution import execute_job
 from repro.serve.store import JobStore
 
 #: How long the executor naps between empty queue polls.
@@ -73,13 +79,19 @@ class JobService:
         grace: float = 5.0,
         verbose: bool = True,
         start_executor: bool = True,
+        external_only: bool = False,
+        autosplit: int = 1,
     ) -> None:
+        if autosplit < 1:
+            raise ConfigError(f"--autosplit must be >= 1, got {autosplit}")
         self.store = JobStore(queue_dir)
         self.orchestrator = Orchestrator(jobs=workers, verbose=False, persistent_pool=True)
         self.once = once
         self.grace = grace
         self.verbose = verbose
         self.start_executor = start_executor
+        self.external_only = external_only
+        self.autosplit = autosplit
         self.source_digest = result_cache.source_digest()
         self._stop = threading.Event()
         self._failed_jobs = 0
@@ -147,14 +159,56 @@ class JobService:
     # -- submission (handler threads) ------------------------------------------
 
     def submit(self, payload: Any) -> JobRecord:
-        """Validate, cache-probe, and enqueue one submission."""
-        spec, priority = schema.validate_submission(payload)
+        """Validate, cache-probe, and enqueue one submission.
+
+        A sweep spec that resolved to ``shards: N`` fans out: the parent
+        job is journaled alongside one claimable child per slice, unless
+        the whole sweep is already answerable from a completed prior job
+        (then the parent is born terminal like any cache hit).
+        """
+        spec, priority = schema.validate_submission(payload, autosplit=self.autosplit)
+        tags = schema.submission_tags(payload)
         fp = schema.fingerprint(spec, self.source_digest)
         cached = self._probe_cache(spec, fp)
-        record = self.store.submit(spec, priority=priority, fingerprint=fp, cached_result=cached)
+        if cached is None and spec.get("shards", 1) > 1:
+            children = [
+                (child, schema.fingerprint(child, self.source_digest))
+                for child in schema.shard_specs(spec)
+            ]
+            record = self.store.submit_fanout(
+                spec, children, priority=priority, fingerprint=fp, tags=tags
+            )
+            self._log(
+                f"job {record.job_id} submitted: {spec['task']} "
+                f"(fan-out into {len(children)} shard jobs)"
+            )
+            return record
+        record = self.store.submit(
+            spec, priority=priority, fingerprint=fp, cached_result=cached, tags=tags
+        )
         self._log(
             f"job {record.job_id} submitted: {spec['task']}"
             + (" (cache hit)" if cached is not None else "")
+        )
+        return record
+
+    def complete(self, job_id: str, payload: Any) -> JobRecord:
+        """Apply a worker's completion report to its leased job."""
+        done = schema.validate_complete(payload)
+        record = self.store.finish(
+            job_id,
+            status=JOB_DONE if done["ok"] else JOB_FAILED,
+            result=done["result"],
+            error=done["error"],
+            error_type=done["error_type"],
+            elapsed_s=done["elapsed_s"],
+            worker=done["worker"],
+        )
+        if not done["ok"]:
+            self._failed_jobs += 1
+        self._log(
+            f"job {record.job_id} {record.status} by worker {done['worker']} "
+            f"in {done['elapsed_s']:.1f}s"
         )
         return record
 
@@ -192,22 +246,27 @@ class JobService:
         result["cached"] = True
         return result
 
-    # -- execution (the executor thread) ---------------------------------------
+    # -- supervision (the executor thread) --------------------------------------
 
     def _executor_loop(self) -> None:
         while not self._stop.is_set():
             try:
-                job = self.store.claim()
-                if job is None:
-                    if self.once and self._drained():
-                        self._log("queue drained; exiting (--once)")
-                        self._stop.set()
-                        break
-                    self._stop.wait(_POLL_S)
+                progressed = self._reap_leases()
+                progressed = self._merge_ready_parents() or progressed
+                if not self.external_only:
+                    job = self.store.claim()
+                    if job is not None:
+                        self.touch()
+                        self._execute(job)
+                        self.touch()
+                        progressed = True
+                if progressed:
                     continue
-                self.touch()
-                self._execute(job)
-                self.touch()
+                if self.once and self._drained():
+                    self._log("queue drained; exiting (--once)")
+                    self._stop.set()
+                    break
+                self._stop.wait(_POLL_S)
             except Exception as exc:
                 # A store I/O failure (disk full, EIO on the journal
                 # fsync) must not kill the executor silently while the
@@ -225,11 +284,90 @@ class JobService:
             and time.monotonic() - self._last_activity > self.grace
         )
 
+    def _reap_leases(self) -> bool:
+        """Re-enqueue (or fail out) running jobs whose lease lapsed."""
+        reaped = self.store.expire_leases()
+        for record in reaped:
+            if record.status == JOB_FAILED:
+                self._failed_jobs += 1
+                self._log(f"job {record.job_id} failed: lease attempts exhausted")
+            else:
+                self._log(
+                    f"job {record.job_id} lease expired; re-enqueued "
+                    f"(attempt {record.attempt + 1})"
+                )
+        return bool(reaped)
+
+    def _merge_ready_parents(self) -> bool:
+        """Complete fan-out parents whose shard children all landed."""
+        merged = False
+        for record in self.store.jobs():
+            if record.status != JOB_SUBMITTED or not record.children:
+                continue
+            children = self.store.children_of(record.job_id)
+            if len(children) < len(record.children) or not all(c.terminal for c in children):
+                continue
+            self.touch()
+            merged = True
+            self.store.begin(record.job_id, worker="server")
+            start = time.perf_counter()
+            failed = [c for c in children if c.status != JOB_DONE]
+            if failed:
+                ok, result = False, None
+                error = (
+                    f"{len(failed)} of {len(children)} shard jobs did not complete "
+                    f"(first: job {failed[0].job_id} {failed[0].status})"
+                    + (f"\n{failed[0].error}" if failed[0].error else "")
+                )
+                error_type = failed[0].error_type or "ShardFailed"
+            else:
+                try:
+                    ok, result, error, error_type = self._merge_parent(record)
+                except Exception as exc:  # a bad merge must not kill the supervisor
+                    ok, result = False, None
+                    error, error_type = format_error(exc), type(exc).__name__
+            if not ok:
+                self._failed_jobs += 1
+            done = self.store.finish(
+                record.job_id,
+                status=JOB_DONE if ok else JOB_FAILED,
+                result=result,
+                error=error,
+                error_type=error_type,
+                elapsed_s=time.perf_counter() - start,
+            )
+            self._log(
+                f"job {done.job_id} {done.status}: merged {len(children)} shard jobs"
+            )
+            self.touch()
+        return merged
+
+    def _merge_parent(
+        self, record: JobRecord
+    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
+        from repro.eval import sweep as sweep_mod
+
+        spec = record.spec
+        sweep_spec = sweep_mod.load_spec(spec["spec"])
+        document, json_path, csv_path = sweep_mod.merge_shards(
+            sweep_spec, verbose=False, expect_count=len(record.children)
+        )
+        result = {
+            "task": schema.TASK_SWEEP,
+            "cached": False,
+            "document": document,
+            "json_path": json_path,
+            "csv_path": csv_path,
+        }
+        return True, result, None, None
+
     def _execute(self, job: JobRecord) -> None:
         self._log(f"job {job.job_id} running: {job.task} (priority {job.priority})")
         start = time.perf_counter()
         try:
-            ok, result, error, error_type = self._run_job(job)
+            ok, result, error, error_type = execute_job(
+                job.task, job.spec, self.orchestrator, priority=job.priority
+            )
         except Exception as exc:  # a job must never kill the executor
             ok, result = False, None
             error, error_type = format_error(exc), type(exc).__name__
@@ -245,81 +383,6 @@ class JobService:
             elapsed_s=elapsed,
         )
         self._log(f"job {record.job_id} {record.status} in {elapsed:.1f}s")
-
-    def _run_job(self, job: JobRecord) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
-        spec = job.spec
-        if job.task == schema.TASK_EXPERIMENT:
-            return self._run_experiment(job, spec)
-        if job.task == schema.TASK_SWEEP:
-            return self._run_sweep(job, spec)
-        return self._run_bench(spec)
-
-    def _run_experiment(
-        self, job: JobRecord, spec: Dict[str, Any]
-    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
-        self.orchestrator.run_seed = spec["seed"]
-        report = self.orchestrator.run_points(
-            [
-                PointRequest(
-                    experiment=spec["experiment"],
-                    params=dict(spec["params"]),
-                    priority=job.priority,
-                )
-            ],
-            write_manifest=False,
-        )
-        run = report.runs[0]
-        if run.status == STATUS_FAILED:
-            return False, None, run.error, run.error_type
-        result = {
-            "task": schema.TASK_EXPERIMENT,
-            "status": run.status,
-            "cached": run.status == STATUS_CACHED,
-            "artifact": run.artifact,
-            "text": run.text,
-            "elapsed_s": run.elapsed_s,
-            "cache_key": run.cache_key,
-            "summary": run.summary,
-        }
-        return True, result, None, None
-
-    def _run_sweep(
-        self, job: JobRecord, spec: Dict[str, Any]
-    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
-        from repro.eval import sweep as sweep_mod
-
-        sweep_spec = sweep_mod.load_spec(spec["spec"])
-        outcome = sweep_mod.run_sweep(
-            sweep_spec,
-            quick=spec["quick"],
-            limit=spec["limit"],
-            verbose=False,
-            orchestrator=self.orchestrator,
-        )
-        result = {
-            "task": schema.TASK_SWEEP,
-            "cached": all(r.status == STATUS_CACHED for r in outcome.report.runs),
-            "document": outcome.document(),
-            "json_path": outcome.json_path,
-            "csv_path": outcome.csv_path,
-        }
-        if outcome.ok:
-            return True, result, None, None
-        failed = [r for r in outcome.report.runs if r.status == STATUS_FAILED]
-        return False, result, failed[0].error, failed[0].error_type
-
-    def _run_bench(
-        self, spec: Dict[str, Any]
-    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
-        from repro.perf.harness import run_benchmarks, validate_report
-        from repro.perf.registry import BENCH_REGISTRY
-
-        specs = BENCH_REGISTRY.select(only=spec["only"])
-        report = run_benchmarks(specs, quick=spec["quick"], progress=None)
-        problems = validate_report(report)
-        if problems:
-            return False, None, "invalid bench report: " + "; ".join(problems), "ValueError"
-        return True, {"task": schema.TASK_BENCH, "cached": False, "report": report}, None, None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -367,7 +430,12 @@ class _Handler(BaseHTTPRequestHandler):
             respond()
         except ConfigError as exc:
             code = 404 if "unknown job id" in str(exc) else 400
-            if "only queued jobs" in str(exc) or "not running" in str(exc):
+            message = str(exc)
+            if (
+                "only queued jobs" in message
+                or "not running" in message
+                or "lease" in message
+            ):
                 code = 409
             self._send(code, schema.error_body(str(exc)))
         except Exception as exc:  # never drop the connection without a body
@@ -394,6 +462,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "counts": store.counts(),
                     "workers": self.service.orchestrator.jobs,
                     "once": self.service.once,
+                    "external_only": self.service.external_only,
+                    "autosplit": self.service.autosplit,
                     "source_digest": self.service.source_digest,
                 },
             )
@@ -426,6 +496,30 @@ class _Handler(BaseHTTPRequestHandler):
         if route == ("jobs",):
             record = self.service.submit(schema.parse_body(body))
             self._send(200, schema.job_view(record))
+        elif route == ("jobs", "claim"):
+            worker, lease_ttl, tags = schema.validate_claim(schema.parse_body(body))
+            record = self.service.store.claim(worker=worker, lease_ttl=lease_ttl, tags=tags)
+            self._send(
+                200,
+                {
+                    "job": None if record is None else schema.job_view(record),
+                    "outstanding": self.service.store.active(),
+                    "total": self.service.store.total(),
+                },
+            )
+        elif len(route) == 3 and route[0] == "jobs" and route[2] == "heartbeat":
+            payload = schema.parse_body(body)
+            if not isinstance(payload, dict) or not isinstance(payload.get("worker"), str):
+                raise ConfigError("heartbeat needs a JSON body naming its 'worker'")
+            record = self.service.store.get(route[1])  # 404 before 409
+            self._send(
+                200, schema.job_view(self.service.store.heartbeat(record.job_id, payload["worker"]))
+            )
+        elif len(route) == 3 and route[0] == "jobs" and route[2] == "complete":
+            record = self.service.store.get(route[1])  # 404 before 409
+            self._send(
+                200, schema.job_view(self.service.complete(record.job_id, schema.parse_body(body)))
+            )
         elif len(route) == 3 and route[0] == "jobs" and route[2] == "cancel":
             record = self.service.store.get(route[1])  # 404 before 409
             self._send(200, schema.job_view(self.service.store.cancel(record.job_id)))
@@ -447,4 +541,6 @@ def build_service(args: Any) -> JobService:
         grace=args.grace,
         verbose=not args.quiet,
         start_executor=os.environ.get("REPRO_SERVE_NO_EXECUTOR") != "1",
+        external_only=args.external_only,
+        autosplit=args.autosplit,
     )

@@ -8,7 +8,17 @@ tail discipline as the sweep run journal), and the newest record per job
 id *is* the job's state. Killing the server at any instant therefore
 loses at most the line being written; reopening the store replays the
 journal and :meth:`JobStore.recover` re-enqueues whatever a dead server
-left ``running``.
+left ``running``. Recovery also compacts the journal down to its
+newest-record-per-job snapshot, so the file stays bounded by queue size
+rather than growing with every transition across restarts.
+
+Remote workers hold jobs under *leases*: a claim with ``lease_ttl > 0``
+journals the worker id and a wall-clock expiry, heartbeats re-journal a
+pushed-out expiry, and :meth:`JobStore.expire_leases` re-enqueues any
+running job whose lease lapsed (attempt + 1) — the dead-server recovery
+model applied per worker. A lease-holding worker survives a server
+restart: its journaled lease is still live, so recovery leaves the job
+running and the worker's heartbeats pick up against the new process.
 
 The store is thread-safe (the HTTP handler threads submit/cancel while
 the executor thread claims/finishes) but single-process: one server owns
@@ -22,12 +32,13 @@ import os
 import threading
 import time
 import uuid
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.eval.journal import (
     JOB_CANCELLED,
     JOB_DONE,
+    JOB_FAILED,
     JOB_RUNNING,
     JOB_SUBMITTED,
     JobRecord,
@@ -35,6 +46,11 @@ from repro.eval.journal import (
     read_journal,
 )
 from repro.eval.tables import results_dir
+
+#: Executions a job may burn through expired leases before it is failed
+#: outright instead of re-enqueued (guards against a poison job that
+#: kills every worker which picks it up).
+MAX_LEASE_ATTEMPTS = 5
 
 
 def default_queue_dir() -> str:
@@ -73,26 +89,101 @@ class JobStore:
             self._jobs[record.job_id] = record
 
     def recover(self) -> List[JobRecord]:
-        """Re-enqueue jobs a dead server left mid-execution.
+        """Re-enqueue jobs a dead server left mid-execution, then compact.
 
-        A ``running`` record with no terminal successor means the server
-        died while executing: the job goes back to ``submitted`` with its
-        attempt count bumped, so restart resumes the queue where the
-        crash cut it off. Returns the re-enqueued records.
+        A ``running`` record with no terminal successor means an executor
+        died mid-job: the job goes back to ``submitted`` with its attempt
+        count bumped, so restart resumes the queue where the crash cut it
+        off. The exception is a job under a still-live worker lease — its
+        executor is a *remote* process that may well have survived this
+        server's death, so it stays running; if the worker is in fact
+        dead too, the supervisor's :meth:`expire_leases` sweep reaps it
+        the moment the lease lapses. Returns the re-enqueued records.
         """
         requeued: List[JobRecord] = []
         with self._lock:
+            now = time.time()
             for job_id, record in sorted(self._jobs.items(), key=lambda kv: self._order[kv[0]]):
-                if record.status == JOB_RUNNING:
+                if record.status == JOB_RUNNING and record.lease_expires_at <= now:
                     fresh = dataclasses.replace(
                         record,
                         status=JOB_SUBMITTED,
                         attempt=record.attempt + 1,
-                        ts=time.time(),
+                        worker="",
+                        lease_ttl=0.0,
+                        lease_expires_at=0.0,
+                        ts=now,
                     )
                     self._append(fresh)
                     requeued.append(fresh)
+            self._compact()
         return requeued
+
+    def _compact(self) -> bool:
+        """Rewrite the journal as its newest-record-per-job snapshot.
+
+        Every queue transition appends a line, so across many restarts
+        the journal would grow without bound even for a small queue.
+        When superseded records exist, the snapshot (newest record per
+        job, submission order) is written to a sibling temp file —
+        fsynced line by line, exactly like live appends — and atomically
+        swapped in with ``os.replace``; a crash mid-compaction therefore
+        leaves either the old journal or the new one, never a hybrid.
+        No-op (returns False) when every line is already live state.
+        """
+        with self._lock:
+            view = read_journal(self.path)
+            if len(view.jobs) <= len(self._jobs):
+                return False
+            header = {k: v for k, v in (view.header or {}).items() if k not in ("kind", "schema")}
+            header["compacted_at"] = time.time()
+            header["compactions"] = int(header.get("compactions", 0)) + 1
+            tmp = self.path + ".compact.tmp"
+            snapshot = RunJournal.start(tmp, header)
+            for record in self.jobs():
+                snapshot.append_job(record)
+            os.replace(tmp, self.path)
+            return True
+
+    def expire_leases(self, max_attempts: int = MAX_LEASE_ATTEMPTS) -> List[JobRecord]:
+        """Reap running jobs whose worker lease has lapsed.
+
+        Each is re-enqueued as ``submitted`` with attempt + 1 and its
+        lease cleared — unless that would be execution ``max_attempts``,
+        in which case the job is failed outright with a synthetic
+        ``LeaseExpired`` error. Returns the transitioned records; the
+        supervisor loop calls this every poll tick.
+        """
+        transitioned: List[JobRecord] = []
+        with self._lock:
+            now = time.time()
+            for record in self.jobs():
+                if record.status != JOB_RUNNING:
+                    continue
+                if record.lease_expires_at <= 0 or record.lease_expires_at > now:
+                    continue
+                attempt = record.attempt + 1
+                cleared = dict(worker="", lease_ttl=0.0, lease_expires_at=0.0, ts=now)
+                if attempt >= max_attempts:
+                    fresh = dataclasses.replace(
+                        record,
+                        status=JOB_FAILED,
+                        attempt=attempt,
+                        error=(
+                            f"lease expired under worker {record.worker!r}; "
+                            f"execution attempt {attempt} of {max_attempts} — "
+                            "giving up on this job"
+                        ),
+                        error_type="LeaseExpired",
+                        **cleared,
+                    )
+                else:
+                    fresh = dataclasses.replace(
+                        record, status=JOB_SUBMITTED, attempt=attempt, **cleared
+                    )
+                self._append(fresh)
+                transitioned.append(fresh)
+        return transitioned
 
     def _append(self, record: JobRecord) -> None:
         self._journal.append_job(record)
@@ -113,12 +204,14 @@ class JobStore:
         priority: int = 0,
         fingerprint: str = "",
         cached_result: Optional[dict] = None,
+        tags: Sequence[str] = (),
     ) -> JobRecord:
         """Enqueue a canonical spec; returns the journaled record.
 
         With ``cached_result`` the job is born terminal (``done`` with
         ``cached: true``) — the submission was answered from the result
-        cache and never touches the executor.
+        cache and never touches the executor. ``tags`` constrain which
+        workers may claim the job (a claim must cover them all).
         """
         with self._lock:
             now = time.time()
@@ -133,24 +226,162 @@ class JobStore:
                 result=cached_result,
                 submitted_at=now,
                 ts=now,
+                tags=sorted(tags),
             )
             self._append(record)
             return record
 
-    def claim(self) -> Optional[JobRecord]:
+    def submit_fanout(
+        self,
+        spec: Dict[str, object],
+        children: Sequence[Tuple[Dict[str, object], str]],
+        priority: int = 0,
+        fingerprint: str = "",
+        tags: Sequence[str] = (),
+    ) -> JobRecord:
+        """Enqueue a fan-out parent plus one child job per shard slice.
+
+        ``children`` is ``[(child_spec, child_fingerprint), ...]``. The
+        parent is journaled first (carrying every child id), then the
+        children (each carrying the parent id); the parent is never
+        claimable — the server completes it by merging once the children
+        are terminal. Returns the parent record.
+        """
+        with self._lock:
+            now = time.time()
+            taken = set(self._jobs)
+
+            def fresh_id() -> str:
+                while True:
+                    job_id = uuid.uuid4().hex[:12]
+                    if job_id not in taken:
+                        taken.add(job_id)
+                        return job_id
+
+            parent_id = fresh_id()
+            child_ids = [fresh_id() for _ in children]
+            parent = JobRecord(
+                job_id=parent_id,
+                task=str(spec["task"]),
+                status=JOB_SUBMITTED,
+                spec=dict(spec),
+                priority=priority,
+                fingerprint=fingerprint,
+                submitted_at=now,
+                ts=now,
+                tags=sorted(tags),
+                children=child_ids,
+            )
+            self._append(parent)
+            for child_id, (child_spec, child_fp) in zip(child_ids, children):
+                self._append(
+                    JobRecord(
+                        job_id=child_id,
+                        task=str(child_spec["task"]),
+                        status=JOB_SUBMITTED,
+                        spec=dict(child_spec),
+                        priority=priority,
+                        fingerprint=child_fp,
+                        submitted_at=now,
+                        ts=now,
+                        tags=sorted(tags),
+                        parent=parent_id,
+                    )
+                )
+            return parent
+
+    def children_of(self, parent_id: str) -> List[JobRecord]:
+        """Current records of a fan-out parent's shard children."""
+        with self._lock:
+            parent = self.get(parent_id)
+            return [self._jobs[cid] for cid in parent.children if cid in self._jobs]
+
+    def claim(
+        self,
+        worker: str = "",
+        lease_ttl: float = 0.0,
+        tags: Optional[Iterable[str]] = None,
+    ) -> Optional[JobRecord]:
         """Move the best pending job to ``running`` and return it.
 
         "Best" is highest priority first, submission order within a
         priority — the job-priority scheduling the executor drains by.
+        Fan-out parents are never handed out (the server itself merges
+        them). With ``lease_ttl > 0`` the claim journals a lease:
+        ``worker`` owns the job until ``lease_expires_at``, renewable by
+        :meth:`heartbeat`. ``tags`` is the claimer's capability set —
+        ``None`` (the in-process executor) matches every job; a worker's
+        list matches jobs whose tags it covers.
         """
         with self._lock:
-            pending = [r for r in self._jobs.values() if r.status == JOB_SUBMITTED]
+            offered = None if tags is None else set(tags)
+            pending = [
+                r
+                for r in self._jobs.values()
+                if r.status == JOB_SUBMITTED
+                and not r.children
+                and (offered is None or set(r.tags) <= offered)
+            ]
             if not pending:
                 return None
             best = min(pending, key=lambda r: (-r.priority, self._order[r.job_id]))
-            running = dataclasses.replace(best, status=JOB_RUNNING, ts=time.time())
+            now = time.time()
+            running = dataclasses.replace(
+                best,
+                status=JOB_RUNNING,
+                worker=worker,
+                lease_ttl=lease_ttl if lease_ttl > 0 else 0.0,
+                lease_expires_at=now + lease_ttl if lease_ttl > 0 else 0.0,
+                ts=now,
+            )
             self._append(running)
             return running
+
+    def begin(self, job_id: str, worker: str = "") -> JobRecord:
+        """Move one specific queued job to ``running`` (no lease).
+
+        The server's own path for work it executes in-process — notably
+        a fan-out parent entering its merge step.
+        """
+        with self._lock:
+            record = self.get(job_id)
+            if record.status != JOB_SUBMITTED:
+                raise ConfigError(
+                    f"job {job_id} is {record.status!r}; only queued jobs can start"
+                )
+            running = dataclasses.replace(
+                record,
+                status=JOB_RUNNING,
+                worker=worker,
+                lease_ttl=0.0,
+                lease_expires_at=0.0,
+                ts=time.time(),
+            )
+            self._append(running)
+            return running
+
+    def heartbeat(self, job_id: str, worker: str) -> JobRecord:
+        """Renew a worker's lease; the refreshed record is journaled.
+
+        Refused (with "lease" in the message, which the server maps to a
+        409) once the lease is lost — the job expired back to the queue,
+        finished, or is held by someone else.
+        """
+        with self._lock:
+            record = self.get(job_id)
+            if record.status != JOB_RUNNING or record.worker != worker:
+                raise ConfigError(
+                    f"job {job_id} lease lost: it is {record.status!r}"
+                    + (f" under worker {record.worker!r}" if record.worker else "")
+                )
+            if record.lease_ttl <= 0:
+                raise ConfigError(f"job {job_id} holds no lease to heartbeat")
+            now = time.time()
+            fresh = dataclasses.replace(
+                record, lease_expires_at=now + record.lease_ttl, ts=now
+            )
+            self._append(fresh)
+            return fresh
 
     def finish(
         self,
@@ -160,13 +391,25 @@ class JobStore:
         error: Optional[str] = None,
         error_type: Optional[str] = None,
         elapsed_s: float = 0.0,
+        worker: Optional[str] = None,
     ) -> JobRecord:
-        """Journal a running job's terminal outcome."""
+        """Journal a running job's terminal outcome.
+
+        With ``worker`` the caller must still hold the job's lease; a
+        completion arriving after the lease expired and the job moved on
+        is refused rather than clobbering the re-enqueued (or re-run)
+        state.
+        """
         with self._lock:
             record = self.get(job_id)
             if record.status != JOB_RUNNING:
                 raise ConfigError(
                     f"job {job_id} is {record.status!r}, not running; cannot finish it"
+                )
+            if worker is not None and record.worker != worker:
+                raise ConfigError(
+                    f"job {job_id} lease lost: it is held by {record.worker!r}, "
+                    f"not {worker!r}"
                 )
             done = dataclasses.replace(
                 record,
@@ -175,6 +418,9 @@ class JobStore:
                 error=error,
                 error_type=error_type,
                 elapsed_s=elapsed_s,
+                worker=worker if worker is not None else record.worker,
+                lease_ttl=0.0,
+                lease_expires_at=0.0,
                 ts=time.time(),
             )
             self._append(done)
@@ -215,6 +461,11 @@ class JobStore:
         """Jobs still needing the executor (queued or running)."""
         with self._lock:
             return sum(1 for r in self._jobs.values() if r.status in (JOB_SUBMITTED, JOB_RUNNING))
+
+    def total(self) -> int:
+        """Jobs ever submitted (any status)."""
+        with self._lock:
+            return len(self._jobs)
 
     def total(self) -> int:
         with self._lock:
