@@ -42,7 +42,8 @@ class StageBreakdown:
         return other.total_s / max(self.total_s, 1e-30)
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-safe record for manifests and machine-readable reports."""
+        """JSON-safe record for manifests and machine-readable reports
+        (implements the :class:`repro.eval.metrics.Metrics` protocol)."""
         return {
             "model": self.model_name,
             "mode": self.mode,

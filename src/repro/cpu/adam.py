@@ -17,12 +17,12 @@ from typing import Dict, List
 from repro.cpu.tenanalyzer import TenAnalyzer
 from repro.cpu.tensortee_mode import AnalyzerRates
 from repro.errors import ConfigError
-from repro.sim.trace import AccessKind
+from repro.sim.trace_batch import KIND_READ
 from repro.tensor.registry import TensorRegistry
 from repro.units import KiB
 from repro.workloads.traces import (
     AdamTraceConfig,
-    adam_iteration_trace,
+    adam_iteration_batch,
     build_adam_groups,
 )
 
@@ -107,23 +107,23 @@ class AdamExperiment:
                     analyzer.install_from_transfer(tensor.base_va, tensor.n_lines, vn)
         analyzer.reset_rate_counters()
         sync_before = analyzer.stats.scope("meta_table")["sync_lines"]
-        trace = adam_iteration_trace(self._groups, self._trace_config, self._rng)
-        for access in trace:
-            if access.kind is AccessKind.READ:
-                result = analyzer.on_read(access)
-                expected = self._truth.get(access.vaddr, 0)
-                if result.vn != expected:
+        batch = adam_iteration_batch(self._groups, self._trace_config, self._rng)
+        vaddrs, kinds, _, _ = batch.columns()
+        vns = analyzer.replay_window(vaddrs, kinds)
+        truth = self._truth
+        for vaddr, kind, vn in zip(vaddrs, kinds, vns):
+            if kind == KIND_READ:
+                expected = truth.get(vaddr, 0)
+                if vn != expected:
                     raise AssertionError(
-                        f"VN divergence at {access.vaddr:#x}: "
-                        f"analyzer={result.vn} ground-truth={expected}"
+                        f"VN divergence at {vaddr:#x}: "
+                        f"analyzer={vn} ground-truth={expected}"
                     )
             else:
-                result = analyzer.on_write(access)
-                self._truth[access.vaddr] = self._truth.get(access.vaddr, 0) + 1
-                if result.vn != self._truth[access.vaddr]:
-                    raise AssertionError(
-                        f"write VN divergence at {access.vaddr:#x}"
-                    )
+                expected = truth.get(vaddr, 0) + 1
+                truth[vaddr] = expected
+                if vn != expected:
+                    raise AssertionError(f"write VN divergence at {vaddr:#x}")
         stats = analyzer.stats
         meta = stats.scope("meta_table")
         hit = analyzer.hit_rates()

@@ -12,10 +12,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.cpu.tenanalyzer import TenAnalyzer
-from repro.sim.trace import AccessKind
+from repro.sim.trace_batch import KIND_READ
 from repro.tensor.registry import TensorRegistry
 from repro.units import KiB
-from repro.workloads.traces import GemmConfig, build_gemm_tensors, gemm_trace
+from repro.workloads.traces import GemmConfig, build_gemm_tensors, gemm_batch
 
 
 @dataclass
@@ -47,21 +47,19 @@ class GemmExperiment:
         """Execute one full GEMM through the analyzer."""
         analyzer = self.analyzer
         analyzer.reset_rate_counters()
-        for access in gemm_trace(self.a, self.b, self.c, self.config):
-            if access.kind is AccessKind.READ:
-                result = analyzer.on_read(access)
-                expected = self._truth.get(access.vaddr, 0)
-                if result.vn != expected:
-                    raise AssertionError(
-                        f"GEMM VN divergence at {access.vaddr:#x}"
-                    )
+        batch = gemm_batch(self.a, self.b, self.c, self.config)
+        vaddrs, kinds, _, _ = batch.columns()
+        vns = analyzer.replay_window(vaddrs, kinds)
+        truth = self._truth
+        for vaddr, kind, vn in zip(vaddrs, kinds, vns):
+            if kind == KIND_READ:
+                if vn != truth.get(vaddr, 0):
+                    raise AssertionError(f"GEMM VN divergence at {vaddr:#x}")
             else:
-                result = analyzer.on_write(access)
-                self._truth[access.vaddr] = self._truth.get(access.vaddr, 0) + 1
-                if result.vn != self._truth[access.vaddr]:
-                    raise AssertionError(
-                        f"GEMM write VN divergence at {access.vaddr:#x}"
-                    )
+                expected = truth.get(vaddr, 0) + 1
+                truth[vaddr] = expected
+                if vn != expected:
+                    raise AssertionError(f"GEMM write VN divergence at {vaddr:#x}")
         rates = analyzer.hit_rates()
         record = GemmPassStats(
             pass_index=self._pass,

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro import vec
 from repro.cpu.tenanalyzer.entry import MetaTableEntry, WriteOutcomeKind
 from repro.cpu.tenanalyzer.meta_table import LookupKind, MetaTable
 from repro.cpu.tenanalyzer.tensor_filter import TensorFilter, detect_streams
@@ -25,6 +26,7 @@ from repro.cpu.tenanalyzer.vn_store import OffChipVnStore
 from repro.errors import ConfigError
 from repro.sim.stats import Stats
 from repro.sim.trace import MemAccess
+from repro.sim.trace_batch import KIND_READ
 from repro.units import CACHELINE_BYTES
 
 LINE = CACHELINE_BYTES
@@ -102,8 +104,11 @@ class TenAnalyzer:
     # -- dataflow for reading (Fig. 10) ---------------------------------------
 
     def on_read(self, access: MemAccess) -> ReadResult:
-        """Classify a read and provide its VN."""
-        vaddr = access.vaddr
+        """Classify a read and provide its VN (object-trace entry point)."""
+        return self.on_read_va(access.vaddr)
+
+    def on_read_va(self, vaddr: int) -> ReadResult:
+        """Classify a read by virtual address and provide its VN."""
         if not self.enabled:
             self.stats.add("read_miss")
             return ReadResult(ReadKind.MISS, self.vn_store.read(vaddr), 1, True)
@@ -139,6 +144,10 @@ class TenAnalyzer:
     # -- dataflow for writing (Fig. 12) ---------------------------------------
 
     def on_write(self, access: MemAccess, mac_delta: int = 0) -> WriteResult:
+        """Track a write-back (object-trace entry point)."""
+        return self.on_write_va(access.vaddr, mac_delta)
+
+    def on_write_va(self, vaddr: int, mac_delta: int = 0) -> WriteResult:
         """Track a write-back; returns the VN to encrypt the line under.
 
         ``mac_delta`` is ``old_line_mac ^ new_line_mac`` from the MEE, folded
@@ -146,7 +155,6 @@ class TenAnalyzer:
         lines' MACs (Sec. 4.3 construction, reused on the CPU side for the
         direct-transfer metadata).
         """
-        vaddr = access.vaddr
         if self.enabled:
             # Writes snoop the Tensor Filter: a write-back to a line inside an
             # in-flight collection changes that line's VN, so the half-built
@@ -187,6 +195,120 @@ class TenAnalyzer:
             violation=False,
             offchip_vn_writes=0,
         )
+
+    # -- batched stream replay (columnar traces) -------------------------------
+
+    def replay_window(self, vaddrs: Sequence[int], kinds: Sequence[int]) -> List[int]:
+        """Replay one columnar trace window; returns the per-access VNs.
+
+        ``vaddrs``/``kinds`` are :class:`repro.sim.trace_batch.TraceBatch`
+        columns (``columns()`` lists); any non-read kind is replayed as a
+        write-back, matching the experiment drivers' historical handling.
+
+        Behind :func:`repro.vec.enabled` this inlines the read/write
+        dataflows into one loop — no per-access ``ReadResult`` /
+        ``WriteResult`` objects, classification counters folded into
+        ``Stats`` in bulk. The scalar reference replays
+        :meth:`on_read_va` / :meth:`on_write_va` per element. Table, filter
+        and VN-store mutations are identical in both modes, as are the
+        final counter totals.
+        """
+        if not vec.enabled():
+            return [
+                self.on_read_va(vaddr).vn if kind == KIND_READ else self.on_write_va(vaddr).vn
+                for vaddr, kind in zip(vaddrs, kinds)
+            ]
+        table = self.table
+        filt = self.filter
+        store = self.vn_store
+        lookup = table.lookup
+        entry_of = table.entry_of
+        store_read = store.read
+        store_bump = store.bump
+        drop_covering = filt.drop_covering
+        observe = filt.observe
+        enabled = self.enabled
+        read_hit_in = read_hit_boundary = read_miss = mispredicts = 0
+        write_miss = write_violation = write_completed = write_hit_edge = write_hit_in = 0
+        vns: List[int] = []
+        append = vns.append
+        for vaddr, kind in zip(vaddrs, kinds):
+            if kind == KIND_READ:
+                if not enabled:
+                    read_miss += 1
+                    append(store_read(vaddr))
+                    continue
+                lookup_kind, entry = lookup(vaddr)
+                if lookup_kind is LookupKind.HIT_IN:
+                    read_hit_in += 1
+                    append(entry.vn_for_line(vaddr))
+                    continue
+                if lookup_kind is LookupKind.HIT_BOUNDARY:
+                    offchip_vn = store_read(vaddr)
+                    if offchip_vn == entry.vn:
+                        table.extend(entry)
+                        drop_covering(vaddr)
+                        read_hit_boundary += 1
+                        append(entry.vn)
+                    else:
+                        mispredicts += 1
+                        read_miss += 1
+                        append(offchip_vn)
+                    continue
+                offchip_vn = store_read(vaddr)
+                read_miss += 1
+                geometry = observe(vaddr, offchip_vn)
+                if geometry is not None:
+                    table.insert(geometry, vn=offchip_vn, source="filter")
+                append(offchip_vn)
+            else:
+                if enabled:
+                    drop_covering(vaddr)
+                    entry = entry_of(vaddr)
+                else:
+                    entry = None
+                if entry is None:
+                    write_miss += 1
+                    append(store_bump(vaddr))
+                    continue
+                outcome = entry.write_line(vaddr)
+                if outcome is WriteOutcomeKind.VIOLATION:
+                    table.invalidate(entry, reason="assert")
+                    write_violation += 1
+                    append(store_bump(vaddr))
+                    continue
+                # mac_delta is 0 on replay: entry.mac is unchanged.
+                if outcome is WriteOutcomeKind.COMPLETED:
+                    append(entry.vn)
+                    write_completed += 1
+                    table.merge_updated(entry)
+                    write_hit_edge += 1
+                elif outcome is WriteOutcomeKind.HIT_EDGE:
+                    append(entry.vn + 1)
+                    write_hit_edge += 1
+                else:
+                    append(entry.vn + 1)
+                    write_hit_in += 1
+        stats = self.stats
+        if read_hit_in:
+            stats.add("read_hit_in", read_hit_in)
+        if read_hit_boundary:
+            stats.add("read_hit_boundary", read_hit_boundary)
+        if read_miss:
+            stats.add("read_miss", read_miss)
+        if mispredicts:
+            stats.add("boundary_mispredict", mispredicts)
+        if write_miss:
+            stats.add("write_miss", write_miss)
+        if write_violation:
+            stats.add("write_violation", write_violation)
+        if write_completed:
+            stats.add("write_completed_tensors", write_completed)
+        if write_hit_edge:
+            stats.add("write_hit_edge", write_hit_edge)
+        if write_hit_in:
+            stats.add("write_hit_in", write_hit_in)
+        return vns
 
     # -- fast-path installation from transfer descriptors (Sec. 4.2) ----------
 

@@ -17,6 +17,21 @@ class ConfigError(ReproError):
     """A configuration value is inconsistent or out of the modelled range."""
 
 
+class SchemaVersionError(ConfigError):
+    """A machine-readable artifact (``BENCH_*.json``, ``sweep.json``) was
+    written under a different schema version than this reader expects.
+
+    Raised by :func:`repro.schema.check_schema_version` instead of letting
+    stale documents surface as KeyErrors deep in a comparison; the CLI
+    maps it (like every ConfigError) to exit code 2.
+    """
+
+    def __init__(self, message: str, expected: int, found: object) -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.found = found
+
+
 class ServiceError(ReproError):
     """A ``repro serve`` request failed (unreachable server, bad job id, ...)."""
 

@@ -1,0 +1,65 @@
+"""The one documented surface for turning results into metric mappings.
+
+Three ad-hoc conversions grew up around "give me this result's numbers as
+a dict": :meth:`repro.core.results.StageBreakdown.as_dict` (stage timing
+records), :meth:`repro.sim.stats.Stats.as_dict` (flattened counters), and
+the sweep engine's dotted-path metric extraction. They all meet here:
+
+- :class:`Metrics` is the structural protocol every metric-bearing result
+  implements — a zero-argument ``as_dict`` returning a JSON-safe mapping;
+- :func:`as_metrics` is how consumers (the orchestrator summary, the
+  sweep engine, the serve layer) obtain that mapping without hasattr
+  probing;
+- :func:`extract_metric` resolves a dotted path inside the mapping — the
+  sweep ``metrics:`` entries are paths into ``as_metrics`` output.
+
+A result type joins the surface by implementing ``as_dict``; nothing
+registers anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class Metrics(Protocol):
+    """Structural interface of every metric-bearing result object."""
+
+    def as_dict(self) -> Mapping[str, Any]:
+        """The JSON-safe metric mapping of this object."""
+        ...  # pragma: no cover - protocol declaration
+
+
+def as_metrics(value: Any) -> Optional[dict]:
+    """The metric mapping of ``value``, or None when it exposes none.
+
+    Accepts anything satisfying :class:`Metrics`; a text-only or
+    metric-less result yields None, which downstream consumers treat as
+    "no summary" (the sweep engine then records empty metrics).
+    """
+    if isinstance(value, Metrics):
+        return dict(value.as_dict())
+    return None
+
+
+def extract_metric(summary: Any, path: str) -> Any:
+    """Resolve a dotted path (dict keys / list indices) in a summary.
+
+    Returns None when any segment is missing — a point whose experiment
+    has no metrics simply yields empty values.
+    """
+    node = summary
+    for segment in path.split("."):
+        if isinstance(node, Mapping):
+            if segment not in node:
+                return None
+            node = node[segment]
+        elif isinstance(node, Sequence) and not isinstance(node, (str, bytes)):
+            try:
+                node = node[int(segment)]
+            except (ValueError, IndexError):
+                return None
+        else:
+            return None
+    return node

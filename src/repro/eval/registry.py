@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
+from repro.eval.metrics import as_metrics
 
 #: Modules that register experiments, in paper order. ``load_all`` imports
 #: these; registration order defines the default run/list order.
@@ -89,11 +90,12 @@ class ExperimentOutput:
     text: str  #: the rendered artifact written to results/<name>.txt
 
     def summary(self) -> Optional[dict]:
-        """A JSON-safe digest of the result, when it knows how to make one."""
-        as_dict = getattr(self.result, "as_dict", None)
-        if callable(as_dict):
-            return as_dict()
-        return None
+        """A JSON-safe digest of the result, when it knows how to make one.
+
+        Delegates to the :class:`repro.eval.metrics.Metrics` protocol:
+        any result with an ``as_dict`` participates.
+        """
+        return as_metrics(self.result)
 
 
 @dataclass(frozen=True)

@@ -22,11 +22,13 @@ import random
 from dataclasses import dataclass
 from typing import Dict
 
+from repro import vec
 from repro.core.config import baseline_system, non_secure_system, tensortee_system
 from repro.core.system import CollaborativeSystem
 from repro.errors import ConfigError
 from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt, pct
+from repro.mem.cache import LruCacheCore
 from repro.mem.metadata_cache import MetadataCache, MetadataKind
 from repro.npu.config import NpuConfig
 from repro.npu.kernels import iteration_time_s
@@ -191,6 +193,15 @@ def mee_cache_geometry(
     """
     if tensors <= 0 or lines_per_tensor <= 0 or iterations <= 0:
         raise ConfigError("tensors, lines_per_tensor and iterations must be positive")
+    if vec.enabled():
+        return _mee_geometry_batched(
+            capacity_kib=capacity_kib,
+            ways=ways,
+            tensors=tensors,
+            lines_per_tensor=lines_per_tensor,
+            iterations=iterations,
+            seed=seed,
+        )
     cache = MetadataCache(capacity_bytes=capacity_kib * KiB, ways=ways)
     vn_lines = tensors * lines_per_tensor
     levels = _tree_levels(vn_lines)
@@ -241,6 +252,160 @@ def mee_cache_geometry(
         hit_rate=cache.hit_rate,
         kind_hit_rates=kind_hit_rates,
         mean_covered_level=covered_total / max(covered_samples, 1),
+    )
+
+
+# Metadata keys in _mee_geometry_batched live in the MetadataCache synthetic
+# *line-index* space: synthetic_addr // 64 = (kind*8 + level) << 34 + index,
+# so the batched pass replays the exact set/tag stream the scalar
+# MetadataCache reference sees.
+_KEY_SHIFT = 34
+_MAC_BASE = (MetadataKind.MAC.value * 8) << _KEY_SHIFT
+
+
+def _mee_geometry_batched(
+    capacity_kib: int,
+    ways: int,
+    tensors: int,
+    lines_per_tensor: int,
+    iterations: int,
+    seed: int,
+) -> MeeGeometryResult:
+    """Batched twin of the ``mee_cache_geometry`` scalar loop.
+
+    The shuffled per-iteration line order is precomputed as one NumPy
+    expression; the cache replay itself is state-serial, so it runs as a
+    tight loop over :class:`repro.mem.cache.LruCacheCore` with the
+    touch/probe bodies inlined — no synthetic-address reconstruction, no
+    ``Stats`` call and no enum dispatch per touch. The returned result is
+    bit-identical to the scalar reference.
+    """
+    np = vec.np
+    vn_lines = tensors * lines_per_tensor
+    levels = _tree_levels(vn_lines)
+    rng = random.Random(seed)
+    order = list(range(tensors))
+    offsets = np.arange(lines_per_tensor, dtype=np.int64)[None, :]
+    stream: list = []
+    for _ in range(iterations):
+        rng.shuffle(order)
+        bases = np.asarray(order, dtype=np.int64)[:, None] * lines_per_tensor
+        stream.extend((bases + offsets).ravel().tolist())
+
+    core = LruCacheCore.for_cache(capacity_kib * KiB, ways=ways)
+    sets = core.sets
+    n_sets = core.n_sets
+    tree_base = [(MetadataKind.TREE.value * 8 + lvl) << _KEY_SHIFT for lvl in range(levels + 1)]
+    vn_hits = vn_misses = mac_hits = mac_misses = tree_hits = tree_misses = 0
+    covered_total = 0
+    for index in stream:
+        # Read path: VN + MAC fetch, tree walk to the covered level.
+        cache_set = sets[index % n_sets]
+        tag = index // n_sets
+        dirty = cache_set.pop(tag, None)
+        if dirty is not None:
+            cache_set[tag] = dirty
+            vn_hits += 1
+        else:
+            if len(cache_set) >= ways:
+                cache_set.pop(next(iter(cache_set)))
+            cache_set[tag] = False
+            vn_misses += 1
+        key = _MAC_BASE + index
+        cache_set = sets[key % n_sets]
+        tag = key // n_sets
+        dirty = cache_set.pop(tag, None)
+        if dirty is not None:
+            cache_set[tag] = dirty
+            mac_hits += 1
+        else:
+            if len(cache_set) >= ways:
+                cache_set.pop(next(iter(cache_set)))
+            cache_set[tag] = False
+            mac_misses += 1
+        # Covered-level probe: presence only, no LRU update, no counters.
+        covered = levels
+        node = index
+        for level in range(1, levels):
+            node //= 8
+            key = tree_base[level] + node
+            if key // n_sets in sets[key % n_sets]:
+                covered = level
+                break
+        covered_total += covered
+        node = index
+        for level in range(1, covered + 1):
+            node //= 8
+            key = tree_base[level] + node
+            cache_set = sets[key % n_sets]
+            tag = key // n_sets
+            dirty = cache_set.pop(tag, None)
+            if dirty is not None:
+                cache_set[tag] = dirty
+                tree_hits += 1
+            else:
+                if len(cache_set) >= ways:
+                    cache_set.pop(next(iter(cache_set)))
+                cache_set[tag] = False
+                tree_misses += 1
+        # Write-back of the updated line: VN bump + fresh MAC,
+        # then the tree path re-hashes up to the root.
+        cache_set = sets[index % n_sets]
+        tag = index // n_sets
+        dirty = cache_set.pop(tag, None)
+        if dirty is not None:
+            cache_set[tag] = True
+            vn_hits += 1
+        else:
+            if len(cache_set) >= ways:
+                cache_set.pop(next(iter(cache_set)))
+            cache_set[tag] = True
+            vn_misses += 1
+        key = _MAC_BASE + index
+        cache_set = sets[key % n_sets]
+        tag = key // n_sets
+        dirty = cache_set.pop(tag, None)
+        if dirty is not None:
+            cache_set[tag] = True
+            mac_hits += 1
+        else:
+            if len(cache_set) >= ways:
+                cache_set.pop(next(iter(cache_set)))
+            cache_set[tag] = True
+            mac_misses += 1
+        node = index
+        for level in range(1, levels):
+            node //= 8
+            key = tree_base[level] + node
+            cache_set = sets[key % n_sets]
+            tag = key // n_sets
+            dirty = cache_set.pop(tag, None)
+            if dirty is not None:
+                cache_set[tag] = True
+                tree_hits += 1
+            else:
+                if len(cache_set) >= ways:
+                    cache_set.pop(next(iter(cache_set)))
+                cache_set[tag] = True
+                tree_misses += 1
+
+    hits = vn_hits + mac_hits + tree_hits
+    total = hits + vn_misses + mac_misses + tree_misses
+    kind_hit_rates = {
+        "vn": vn_hits / (vn_hits + vn_misses) if vn_hits + vn_misses else 0.0,
+        "mac": mac_hits / (mac_hits + mac_misses) if mac_hits + mac_misses else 0.0,
+        "tree": tree_hits / (tree_hits + tree_misses) if tree_hits + tree_misses else 0.0,
+    }
+    return MeeGeometryResult(
+        capacity_kib=capacity_kib,
+        ways=ways,
+        capacity_lines=capacity_kib * KiB // 64,
+        vn_lines=vn_lines,
+        levels=levels,
+        accesses=total,
+        hit_rate=hits / total if total else 0.0,
+        kind_hit_rates=kind_hit_rates,
+        mean_covered_level=covered_total / max(len(stream), 1),
     )
 
 

@@ -64,11 +64,18 @@ from repro.eval.orchestrator import (
     RunReport,
     derive_seed,
 )
+from repro.eval.metrics import extract_metric
 from repro.eval.registry import REGISTRY, ExperimentSpec, normalize_params
 from repro.eval.tables import ascii_table, results_dir
+from repro.schema import check_schema_version
 
 #: ``sweep.json`` layout version; bump on breaking changes.
-SWEEP_SCHEMA = 1
+#: 1 -> 2: explicit ``schema_version`` field (readers refuse other versions
+#: via :func:`repro.schema.check_schema_version` instead of KeyError-ing).
+SWEEP_SCHEMA = 2
+
+#: How to re-record a sweep document that fails the version check.
+_SWEEP_REFRESH_HINT = "Re-run the sweep (`python -m repro sweep run <name>`)."
 
 MODE_GRID = "grid"
 MODE_ZIP = "zip"
@@ -550,31 +557,6 @@ def expand(spec: SweepSpec, quick: bool = False, limit: Optional[int] = None) ->
     return points
 
 
-# -- metric extraction --------------------------------------------------------
-
-
-def extract_metric(summary: Any, path: str) -> Any:
-    """Resolve a dotted path (dict keys / list indices) in a summary.
-
-    Returns None when any segment is missing — a point whose experiment
-    has no ``as_dict`` simply yields empty metrics.
-    """
-    node = summary
-    for segment in path.split("."):
-        if isinstance(node, Mapping):
-            if segment not in node:
-                return None
-            node = node[segment]
-        elif isinstance(node, Sequence) and not isinstance(node, (str, bytes)):
-            try:
-                node = node[int(segment)]
-            except (ValueError, IndexError):
-                return None
-        else:
-            return None
-    return node
-
-
 # -- execution ----------------------------------------------------------------
 
 
@@ -639,7 +621,8 @@ class SweepResult:
 
     def _document_base(self) -> dict:
         return {
-            "schema": SWEEP_SCHEMA,
+            "schema_version": SWEEP_SCHEMA,
+            "schema": SWEEP_SCHEMA,  # legacy spelling kept for older tooling
             "kind": "repro-sweep",
             "sweep": self.spec.name,
             "experiment": self.spec.experiment,
@@ -1032,6 +1015,7 @@ def merge_shards(
             raise ConfigError(f"{context}: cannot parse {shard_json!r}: {exc}") from exc
         if doc.get("kind") != "repro-sweep" or "shard" not in doc:
             raise ConfigError(f"{context}: {shard_json!r} is not a shard sweep document")
+        check_schema_version(doc, SWEEP_SCHEMA, f"{context}: {shard_json!r}", _SWEEP_REFRESH_HINT)
         if doc.get("sweep") != spec.name or doc.get("experiment") != spec.experiment:
             raise ConfigError(
                 f"{context}: {shard_json!r} belongs to sweep "
@@ -1065,6 +1049,7 @@ def merge_shards(
         "base",
         "metrics",
         "schema",
+        "schema_version",
     ):
         _uniform(docs, key, context)
     quick = bool(docs[0].get("quick"))
@@ -1091,7 +1076,16 @@ def merge_shards(
         status_counts[record["status"]] += 1
     merged = {
         key: docs[0][key]
-        for key in ("schema", "kind", "sweep", "experiment", "description", "mode", "seed")
+        for key in (
+            "schema_version",
+            "schema",
+            "kind",
+            "sweep",
+            "experiment",
+            "description",
+            "mode",
+            "seed",
+        )
     }
     merged.update(
         {

@@ -3,17 +3,110 @@
 Used for the MEE metadata cache (Table 1: 32 KB) and for the LLC filter in
 front of the write path. Functional-only: it tracks presence and dirtiness,
 not contents (contents live in :class:`repro.mem.backing.SimulatedDram`).
+
+Two layers:
+
+- :class:`SetAssocCache` — the readable per-access simulator and the scalar
+  reference the batched passes are verified against. Its ``access`` loop is
+  deliberately kept in its original object form.
+- :class:`LruCacheCore` — flat per-set ``dict`` state with plain-``int``
+  counters, for the batched replay passes (``cpu/metadata_model.py``,
+  ``eval/scenarios.py``). LRU replacement cannot be expressed as an array
+  program — every access depends on the state the previous access left
+  behind — so the batched passes win by stripping per-access overhead:
+  no ``Stats`` calls, no per-line objects, one dict operation per touch.
+  Replacement semantics are identical to :class:`SetAssocCache` (the
+  parity tests in ``tests/test_trace_batch.py`` enforce it).
+
+``access_many`` is the batch API on :class:`SetAssocCache` itself: behind
+:func:`repro.vec.enabled` it runs one inlined loop over the shared set
+state and folds counter deltas into ``Stats`` in bulk; the scalar
+reference replays ``access`` per element. Same hits, same counters.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro import vec
 from repro.errors import ConfigError
 from repro.sim.stats import Stats
 from repro.units import CACHELINE_BYTES
+
+
+class LruCacheCore:
+    """Flat LRU residency state for the batched replay loops.
+
+    Python dicts preserve insertion order, so each set is a plain ``dict``
+    mapping ``tag -> dirty``: re-inserting on hit is ``move_to_end``, and
+    ``next(iter(d))`` is the LRU victim. Counters are plain ints.
+    """
+
+    __slots__ = ("n_sets", "ways", "sets", "hits", "misses", "evictions", "writebacks")
+
+    def __init__(self, n_sets: int, ways: int) -> None:
+        if n_sets <= 0 or ways <= 0:
+            raise ConfigError("cache sets and associativity must be positive")
+        self.n_sets = n_sets
+        self.ways = ways
+        self.sets: List[Dict[int, bool]] = [{} for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @classmethod
+    def for_cache(cls, capacity_bytes: int, ways: int = 8, line_bytes: int = CACHELINE_BYTES):
+        """Core with the same geometry :class:`SetAssocCache` would use."""
+        n_lines = capacity_bytes // line_bytes
+        if n_lines < ways:
+            raise ConfigError("cache smaller than one set")
+        return cls(max(1, n_lines // ways), ways)
+
+    def touch(self, line: int, write: bool = False) -> bool:
+        """Touch line index ``line``; returns hit/miss. Misses fill."""
+        cache_set = self.sets[line % self.n_sets]
+        tag = line // self.n_sets
+        dirty = cache_set.pop(tag, None)
+        if dirty is not None:
+            cache_set[tag] = dirty or write
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.ways:
+            if cache_set.pop(next(iter(cache_set))):
+                self.writebacks += 1
+            self.evictions += 1
+        cache_set[tag] = bool(write)
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence check without LRU update or fill."""
+        return line // self.n_sets in self.sets[line % self.n_sets]
+
+    def flush(self) -> int:
+        """Empty every set; returns (and counts) dirty lines written back."""
+        dirty = 0
+        for cache_set in self.sets:
+            dirty += sum(1 for d in cache_set.values() if d)
+            cache_set.clear()
+        self.writebacks += dirty
+        return dirty
+
+    @property
+    def resident(self) -> int:
+        """How many lines are currently cached."""
+        return sum(len(cache_set) for cache_set in self.sets)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of touches that hit so far."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
 
 
 @dataclass
@@ -78,6 +171,59 @@ class SetAssocCache:
         cache_set[tag] = CacheLineState(tag=tag, dirty=write)
         return False
 
+    def access_many(self, addrs: Sequence[int], write: bool = False) -> List[bool]:
+        """Touch a stream of addresses; returns the per-address hit list.
+
+        Vector mode runs one inlined loop over the shared set state and
+        folds the counter deltas into ``Stats`` in bulk; scalar mode
+        replays :meth:`access` per element. Same hits, same counters.
+        """
+        if not vec.enabled():
+            return [self.access(addr, write) for addr in addrs]
+        line_bytes = self.line_bytes
+        if vec.HAVE_NUMPY and isinstance(addrs, vec.np.ndarray):
+            lines = (addrs // line_bytes).tolist()
+        else:
+            lines = [addr // line_bytes for addr in addrs]
+        sets = self._sets
+        n_sets = self.n_sets
+        ways = self.ways
+        hits = 0
+        evictions = 0
+        writebacks = 0
+        out: List[bool] = []
+        append = out.append
+        for line in lines:
+            set_index = line % n_sets
+            cache_set = sets.get(set_index)
+            if cache_set is None:
+                cache_set = sets[set_index] = OrderedDict()
+            tag = line // n_sets
+            state = cache_set.get(tag)
+            if state is not None:
+                cache_set.move_to_end(tag)
+                state.dirty = state.dirty or write
+                hits += 1
+                append(True)
+                continue
+            if len(cache_set) >= ways:
+                _, victim = cache_set.popitem(last=False)
+                evictions += 1
+                if victim.dirty:
+                    writebacks += 1
+            cache_set[tag] = CacheLineState(tag=tag, dirty=write)
+            append(False)
+        misses = len(lines) - hits
+        if hits:
+            self.stats.add("hits", hits)
+        if misses:
+            self.stats.add("misses", misses)
+        if evictions:
+            self.stats.add("evictions", evictions)
+        if writebacks:
+            self.stats.add("writebacks", writebacks)
+        return out
+
     def contains(self, addr: int) -> bool:
         """Presence check without LRU update or fill."""
         set_index, tag = self._locate(addr)
@@ -102,6 +248,11 @@ class SetAssocCache:
         self.stats.add("flushes")
         self.stats.add("writebacks", dirty)
         return dirty
+
+    @property
+    def resident(self) -> int:
+        """How many lines are currently cached."""
+        return sum(len(cache_set) for cache_set in self._sets.values())
 
     @property
     def hit_rate(self) -> float:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import vec
 from repro.crypto.ctr import CounterModeCipher
 from repro.crypto.mac import MacEngine
 from repro.crypto.merkle import BonsaiMerkleTree
@@ -87,6 +88,14 @@ class FunctionalMee:
         vns = [self.vn_store.get(base + i, 0) for i in range(VNS_PER_LEAF)]
         return struct.pack(f">{VNS_PER_LEAF}Q", *vns)
 
+    @staticmethod
+    def _unique_leaves(indices: Sequence[int]) -> List[int]:
+        """Sorted unique Merkle leaves covering a batch of line indices."""
+        if vec.enabled() and len(indices) > 1:
+            np = vec.np
+            return np.unique(np.asarray(indices, dtype=np.int64) // VNS_PER_LEAF).tolist()
+        return sorted({index // VNS_PER_LEAF for index in indices})
+
     # -- write path -------------------------------------------------------------
 
     def write_line(self, vaddr: int, plaintext: bytes, vn: Optional[int] = None) -> Tuple[int, int]:
@@ -110,6 +119,7 @@ class FunctionalMee:
         if self.merkle is not None:
             leaf = index // VNS_PER_LEAF
             self.merkle.update_leaf(leaf, self._leaf_payload(leaf))
+            self.stats.add("merkle_updates")
         self.stats.add("writes")
         return old_mac, new_mac
 
@@ -127,7 +137,8 @@ class FunctionalMee:
         lists. End state (DRAM, VN/MAC stores, Merkle tree, stats) is
         identical to a :meth:`write_line` loop; the batch encrypts all
         lines through one keystream call and touches each Merkle leaf
-        once instead of once per line.
+        once instead of once per line — the ``merkle_updates`` counter
+        tracks leaves actually walked, so the batch reports fewer.
         """
         if len(plaintexts) != len(vaddrs) * LINE:
             raise ConfigError(
@@ -149,8 +160,11 @@ class FunctionalMee:
             self.mac_store[index] = new_macs[i]
             dram_write(pa, ciphertexts[i * LINE : (i + 1) * LINE])
         if self.merkle is not None:
-            for leaf in sorted({index // VNS_PER_LEAF for index in indices}):
+            leaves = self._unique_leaves(indices)
+            for leaf in leaves:
                 self.merkle.update_leaf(leaf, self._leaf_payload(leaf))
+            if leaves:
+                self.stats.add("merkle_updates", len(leaves))
         self.stats.add("writes", len(vaddrs))
         return old_macs, new_macs
 
@@ -177,6 +191,7 @@ class FunctionalMee:
             if self.merkle is not None:
                 leaf = index // VNS_PER_LEAF
                 self.merkle.verify_leaf(leaf, self._leaf_payload(leaf))
+                self.stats.add("merkle_walks")
             vn = self.vn_store.get(index, 0)
         ciphertext = self.dram.read_line(pa)
         if verify:
@@ -213,8 +228,11 @@ class FunctionalMee:
         indices = [self._line_index(pa) for pa in pas]
         if vn is None:
             if self.merkle is not None:
-                for leaf in sorted({index // VNS_PER_LEAF for index in indices}):
+                leaves = self._unique_leaves(indices)
+                for leaf in leaves:
                     self.merkle.verify_leaf(leaf, self._leaf_payload(leaf))
+                if leaves:
+                    self.stats.add("merkle_walks", len(leaves))
             vns = [self.vn_store.get(index, 0) for index in indices]
         else:
             vns = [vn] * len(vaddrs)

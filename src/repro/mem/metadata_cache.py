@@ -12,8 +12,9 @@ MEE uses to decide how many tree levels a read must actually traverse.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import List, Optional, Sequence
 
+from repro import vec
 from repro.errors import ConfigError
 from repro.mem.cache import SetAssocCache
 from repro.sim.stats import Stats
@@ -68,6 +69,41 @@ class MetadataCache:
         label = kind.name.lower()
         self.stats.add(f"{label}_hits" if hit else f"{label}_misses")
         return hit
+
+    def access_many(
+        self,
+        kind: MetadataKind,
+        indices: Sequence[int],
+        level: int = 0,
+        write: bool = False,
+    ) -> List[bool]:
+        """Touch a stream of same-kind metadata objects; per-index hit list.
+
+        Batch twin of :meth:`access`: vector mode computes the synthetic
+        addresses as one array expression and folds the per-kind tallies
+        into ``Stats`` in bulk; scalar mode replays :meth:`access` per
+        element. Identical hits and identical counters either way.
+        """
+        if not vec.enabled():
+            return [self.access(kind, index, level, write=write) for index in indices]
+        if level < 0:
+            raise ConfigError("metadata index/level must be non-negative")
+        region = (kind.value * 8 + level) * _REGION_STRIDE
+        if vec.HAVE_NUMPY and isinstance(indices, vec.np.ndarray):
+            if len(indices) and int(indices.min()) < 0:
+                raise ConfigError("metadata index/level must be non-negative")
+            addrs: Sequence[int] = region + indices * CACHELINE_BYTES
+        else:
+            addrs = [self._synthetic_addr(kind, index, level) for index in indices]
+        hits = self._cache.access_many(addrs, write=write)
+        n_hits = sum(hits)
+        n_misses = len(hits) - n_hits
+        label = kind.name.lower()
+        if n_hits:
+            self.stats.add(f"{label}_hits", n_hits)
+        if n_misses:
+            self.stats.add(f"{label}_misses", n_misses)
+        return hits
 
     def contains(self, kind: MetadataKind, index: int, level: int = 0) -> bool:
         """Presence probe without side effects."""

@@ -3,7 +3,8 @@
 One report is a JSON document (``BENCH_<timestamp>.json``)::
 
     {
-      "schema": 1,
+      "schema_version": 2,
+      "schema": 2,                    # legacy spelling, same number
       "kind": "repro-bench",
       "generated_at": "...",          # UTC ISO-8601
       "quick": false,
@@ -30,7 +31,10 @@ One report is a JSON document (``BENCH_<timestamp>.json``)::
 
 Comparison (``repro bench --compare BASELINE --threshold 1.25``) checks
 each (benchmark, mode) median against the baseline's and flags a
-regression when ``current > baseline * threshold``.
+regression when ``current > baseline * threshold``. Readers check
+``schema_version`` first (:func:`repro.schema.check_schema_version`), so a
+stale baseline fails with :class:`repro.errors.SchemaVersionError` rather
+than a KeyError mid-comparison.
 """
 
 from __future__ import annotations
@@ -46,9 +50,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro import vec
 from repro.errors import ConfigError
 from repro.perf.registry import BenchSpec
+from repro.schema import check_schema_version
 
 #: ``BENCH_*.json`` layout version; bump on breaking changes.
-BENCH_SCHEMA = 1
+#: 1 -> 2: explicit ``schema_version`` field + trace_replay bench family.
+BENCH_SCHEMA = 2
 REPORT_KIND = "repro-bench"
 
 #: Mode labels. ``vector`` is "whatever the gate picks normally" — on a
@@ -173,7 +179,8 @@ def run_benchmarks(
         if progress is not None:
             progress(format_record_line(record))
     return {
-        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA,
+        "schema": BENCH_SCHEMA,  # legacy spelling kept for older tooling
         "kind": REPORT_KIND,
         "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "quick": quick,
@@ -199,11 +206,22 @@ def format_record_line(record: dict) -> str:
     return "  ".join(parts)
 
 
+#: How to re-record a bench document that fails the version check.
+_BENCH_REFRESH_HINT = (
+    "Re-record it with `python -m repro bench --json <path>` "
+    "(add --quick for the committed benchmarks/baseline.json)."
+)
+
+
 def validate_report(report: dict) -> List[str]:
-    """Schema sanity check; returns a list of problems (empty = valid)."""
+    """Schema sanity check; returns a list of problems (empty = valid).
+
+    Raises :class:`repro.errors.SchemaVersionError` when the document was
+    written under a different ``schema_version`` — everything else about
+    such a report is suspect, so no problem list is attempted.
+    """
+    check_schema_version(report, BENCH_SCHEMA, "bench report", _BENCH_REFRESH_HINT)
     problems: List[str] = []
-    if report.get("schema") != BENCH_SCHEMA:
-        problems.append(f"schema must be {BENCH_SCHEMA}, got {report.get('schema')!r}")
     if report.get("kind") != REPORT_KIND:
         problems.append(f"kind must be {REPORT_KIND!r}, got {report.get('kind')!r}")
     for key in ("generated_at", "python", "platform", "benchmarks"):
@@ -246,6 +264,8 @@ def compare_reports(
     """
     if threshold <= 0:
         raise ConfigError("threshold must be positive")
+    check_schema_version(current, BENCH_SCHEMA, "bench report", _BENCH_REFRESH_HINT)
+    check_schema_version(baseline, BENCH_SCHEMA, "bench baseline", _BENCH_REFRESH_HINT)
     if current.get("quick") != baseline.get("quick"):
         raise ConfigError(
             "cannot compare across --quick modes: current quick="

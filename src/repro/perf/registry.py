@@ -21,7 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ConfigError
 
 #: Modules that register benchmarks; imported by ``load_all``.
-BENCH_MODULES: Tuple[str, ...] = ("repro.perf.kernels",)
+BENCH_MODULES: Tuple[str, ...] = ("repro.perf.kernels", "repro.perf.trace_replay")
 
 
 @dataclass(frozen=True)

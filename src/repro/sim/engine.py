@@ -58,6 +58,27 @@ class EventEngine:
         heapq.heappush(self._queue, event)
         return event
 
+    def at_many(
+        self,
+        times: "list[float]",
+        action: Callable[[int], None],
+        label: str = "",
+    ) -> "list[Event]":
+        """Bulk-schedule ``action(i)`` at each ``times[i]`` (all >= now).
+
+        One heap push per event, validated up front — the batched twin of
+        calling :meth:`at` in a loop with index-capturing lambdas.
+        """
+        for time in times:
+            if time < self.now:
+                raise SimulationError(
+                    f"cannot schedule {label or action!r} at {time} < now ({self.now})"
+                )
+        return [
+            self.at(time, (lambda i=i: action(i)), label=label)
+            for i, time in enumerate(times)
+        ]
+
     def after(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` ``delay`` seconds from now."""
         if delay < 0:

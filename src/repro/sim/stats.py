@@ -74,7 +74,8 @@ class Stats:
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to ``{dotted.name: value}`` for machine-readable reports
-        (the orchestrator embeds this in ``results/manifest.json``)."""
+        (the orchestrator embeds this in ``results/manifest.json``;
+        implements the :class:`repro.eval.metrics.Metrics` protocol)."""
         return dict(self.flat())
 
     def report(self) -> str:

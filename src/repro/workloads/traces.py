@@ -21,8 +21,10 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro import vec
 from repro.errors import ConfigError
 from repro.sim.trace import AccessKind, MemAccess
+from repro.sim.trace_batch import KIND_READ, KIND_WRITE, TraceBatch
 from repro.tensor.dtype import DType
 from repro.tensor.registry import TensorRegistry
 from repro.tensor.tensor import TensorDesc
@@ -96,12 +98,11 @@ class AdamTraceConfig:
 def _thread_layer_stream(
     group: AdamGroup, thread: int, threads: int, burst_lines: int, write_lag_bursts: int
 ) -> List[List[MemAccess]]:
-    """Thread ``thread``'s bursts for one layer, in issue order.
+    """Scalar reference: thread ``thread``'s bursts as per-access objects.
 
-    Each burst advances every role stream by ``burst_lines`` lines: reads of
-    w32/m/v/g, plus the *lagged* read-modify-write write-backs of w32/m/v
-    and the fp16 weight output (half as many lines). Trailing bursts drain
-    the remaining write-backs after reads finish.
+    Kept verbatim as the ``REPRO_NO_VECTORIZE=1`` construction path; the
+    columnar builder (:func:`_thread_layer_columns`) must emit the same
+    accesses in the same order (enforced by the parity tests).
     """
     shards = {t.name: t.shard_lines(threads, thread) for t in group.all_tensors()}
     w32 = shards[group.weight32.name]
@@ -155,17 +156,12 @@ def _thread_layer_stream(
     return bursts
 
 
-def adam_iteration_trace(
+def _adam_iteration_objects(
     groups: Sequence[AdamGroup],
     config: AdamTraceConfig,
-    rng: random.Random | None = None,
+    rng: random.Random,
 ) -> List[MemAccess]:
-    """One optimizer iteration as seen by the memory controller.
-
-    All threads walk the layers in order; within a layer the MC sees a
-    round-robin interleave of thread bursts with random skew.
-    """
-    rng = rng if rng is not None else random.Random(config.seed)
+    """Scalar reference: the original per-access object generator."""
     trace: List[MemAccess] = []
     for group in groups:
         per_thread = [
@@ -186,6 +182,139 @@ def adam_iteration_trace(
                 cursors[t] += 1
                 remaining -= 1
     return trace
+
+
+#: Per-thread, per-layer column stream: (vaddr, kind, tensor_id, burst bounds).
+_ThreadColumns = Tuple[List[int], List[int], List[int], List[Tuple[int, int]]]
+
+
+def _thread_layer_columns(
+    group: AdamGroup, thread: int, threads: int, burst_lines: int, write_lag_bursts: int
+) -> _ThreadColumns:
+    """Thread ``thread``'s bursts for one layer, in issue order.
+
+    Each burst advances every role stream by ``burst_lines`` lines: reads of
+    w32/m/v/g, plus the *lagged* read-modify-write write-backs of w32/m/v
+    and the fp16 weight output (half as many lines). Trailing bursts drain
+    the remaining write-backs after reads finish.
+
+    Columns are assembled by whole-slice extends — no per-access objects;
+    ``bounds`` marks each burst's ``[start, stop)`` window so the
+    interleaver can replay round-robin turns as slice copies.
+    """
+    shards = {t.name: t.shard_lines(threads, thread) for t in group.all_tensors()}
+    w32 = shards[group.weight32.name]
+    m = shards[group.momentum.name]
+    v = shards[group.variance.name]
+    g = shards[group.grad32.name]
+    w16 = shards[group.weight16.name]
+    n = len(w32)
+    n_read_bursts = -(-n // burst_lines)
+    vaddr: List[int] = []
+    kind: List[int] = []
+    tensor_id: List[int] = []
+    bounds: List[Tuple[int, int]] = []
+    w16_cursor = 0
+    for burst_index in range(n_read_bursts + write_lag_bursts):
+        burst_start = len(vaddr)
+        start = burst_index * burst_lines
+        stop = min(start + burst_lines, n)
+        if start < n:
+            for role_tensor, lines in (
+                (group.weight32, w32),
+                (group.momentum, m),
+                (group.variance, v),
+                (group.grad32, g),
+            ):
+                segment = lines[start:stop]
+                if segment:
+                    vaddr.extend(segment)
+                    kind.extend([KIND_READ] * len(segment))
+                    tensor_id.extend([role_tensor.tensor_id] * len(segment))
+        wb_index = burst_index - write_lag_bursts
+        wb_start = wb_index * burst_lines
+        wb_stop = min(wb_start + burst_lines, n)
+        if wb_index >= 0 and wb_start < n:
+            for role_tensor, lines in (
+                (group.weight32, w32),
+                (group.momentum, m),
+                (group.variance, v),
+            ):
+                segment = lines[wb_start:wb_stop]
+                if segment:
+                    vaddr.extend(segment)
+                    kind.extend([KIND_WRITE] * len(segment))
+                    tensor_id.extend([role_tensor.tensor_id] * len(segment))
+            # fp16 output advances at half the fp32 line rate.
+            w16_target = min(len(w16), (wb_stop * len(w16) + n - 1) // n)
+            segment = w16[w16_cursor:w16_target]
+            if segment:
+                vaddr.extend(segment)
+                kind.extend([KIND_WRITE] * len(segment))
+                tensor_id.extend([group.weight16.tensor_id] * len(segment))
+            w16_cursor = w16_target
+        if len(vaddr) > burst_start:
+            bounds.append((burst_start, len(vaddr)))
+    return vaddr, kind, tensor_id, bounds
+
+
+def adam_iteration_batch(
+    groups: Sequence[AdamGroup],
+    config: AdamTraceConfig,
+    rng: random.Random | None = None,
+) -> TraceBatch:
+    """One optimizer iteration as seen by the memory controller.
+
+    All threads walk the layers in order; within a layer the MC sees a
+    round-robin interleave of thread bursts with random skew. Returns the
+    columnar trace; the RNG skew sequence is identical to what the legacy
+    object generator consumed, so seeded runs are unaffected by the
+    representation.
+
+    Vector mode assembles the columns by whole-burst slice extends; the
+    scalar reference runs the original per-access object generator and
+    columnarizes it. Identical batches either way.
+    """
+    rng = rng if rng is not None else random.Random(config.seed)
+    if not vec.enabled():
+        return TraceBatch.from_accesses(_adam_iteration_objects(groups, config, rng))
+    vaddr: List[int] = []
+    kind: List[int] = []
+    thread_col: List[int] = []
+    tensor_id: List[int] = []
+    for group in groups:
+        per_thread = [
+            _thread_layer_columns(
+                group, t, config.threads, config.burst_lines, config.write_lag_bursts
+            )
+            for t in range(config.threads)
+        ]
+        cursors = [0] * config.threads
+        remaining = sum(len(cols[3]) for cols in per_thread)
+        while remaining:
+            for t in range(config.threads):
+                t_vaddr, t_kind, t_tensor, bounds = per_thread[t]
+                if cursors[t] >= len(bounds):
+                    continue
+                if config.thread_skew and rng.random() < config.thread_skew:
+                    continue
+                start, stop = bounds[cursors[t]]
+                vaddr.extend(t_vaddr[start:stop])
+                kind.extend(t_kind[start:stop])
+                tensor_id.extend(t_tensor[start:stop])
+                thread_col.extend([t] * (stop - start))
+                cursors[t] += 1
+                remaining -= 1
+    return TraceBatch.from_columns(vaddr, kind, thread_col, tensor_id)
+
+
+def adam_iteration_trace(
+    groups: Sequence[AdamGroup],
+    config: AdamTraceConfig,
+    rng: random.Random | None = None,
+) -> List[MemAccess]:
+    """Object view of :func:`adam_iteration_batch` (legacy API)."""
+    return adam_iteration_batch(groups, config, rng).to_accesses()
 
 
 # -- tiled GEMM -------------------------------------------------------------
@@ -213,7 +342,9 @@ class GemmConfig:
                 raise ConfigError(f"gemm dim {label}={total} not divisible by tile {tile}")
 
 
-def build_gemm_tensors(registry: TensorRegistry, config: GemmConfig) -> Tuple[TensorDesc, TensorDesc, TensorDesc]:
+def build_gemm_tensors(
+    registry: TensorRegistry, config: GemmConfig
+) -> Tuple[TensorDesc, TensorDesc, TensorDesc]:
     """Allocate the A, B and C matrices."""
     a = registry.allocate("gemm.A", (config.m, config.k), config.dtype, "input")
     b = registry.allocate("gemm.B", (config.k, config.n), config.dtype, "input")
@@ -221,21 +352,58 @@ def build_gemm_tensors(registry: TensorRegistry, config: GemmConfig) -> Tuple[Te
     return a, b, c
 
 
-def gemm_trace(
+def gemm_batch(
+    a: TensorDesc,
+    b: TensorDesc,
+    c: TensorDesc,
+    config: GemmConfig,
+    thread: int = 0,
+) -> TraceBatch:
+    """One full tiled GEMM pass (output-stationary: C written once per tile).
+
+    Loop order: for each output tile (i, j): accumulate over k reading A and
+    B tile rows; after the k loop, read-modify-write the C tile rows.
+    Vector mode emits the columns row-segment by row-segment; the scalar
+    reference runs the original per-access object generator and
+    columnarizes it. Identical batches either way.
+    """
+    if not vec.enabled():
+        return TraceBatch.from_accesses(_gemm_objects(a, b, c, config, thread))
+    vaddr: List[int] = []
+    kind: List[int] = []
+    tensor_id: List[int] = []
+
+    def emit_rows(t: TensorDesc, row0: int, col0: int, rows: int, cols: int, code: int) -> None:
+        tid = t.tensor_id
+        for r in range(row0, row0 + rows):
+            lines = list(t.tile_row_lines(r, col0, cols))
+            vaddr.extend(lines)
+            kind.extend([code] * len(lines))
+            tensor_id.extend([tid] * len(lines))
+
+    for i0 in range(0, config.m, config.tile_m):
+        for j0 in range(0, config.n, config.tile_n):
+            for k0 in range(0, config.k, config.tile_k):
+                emit_rows(a, i0, k0, config.tile_m, config.tile_k, KIND_READ)
+                emit_rows(b, k0, j0, config.tile_k, config.tile_n, KIND_READ)
+            emit_rows(c, i0, j0, config.tile_m, config.tile_n, KIND_READ)
+            emit_rows(c, i0, j0, config.tile_m, config.tile_n, KIND_WRITE)
+    return TraceBatch.from_columns(vaddr, kind, [thread] * len(vaddr), tensor_id)
+
+
+def _gemm_objects(
     a: TensorDesc,
     b: TensorDesc,
     c: TensorDesc,
     config: GemmConfig,
     thread: int = 0,
 ) -> List[MemAccess]:
-    """One full tiled GEMM pass (output-stationary: C written once per tile).
-
-    Loop order: for each output tile (i, j): accumulate over k reading A and
-    B tile rows; after the k loop, read-modify-write the C tile rows.
-    """
+    """Scalar reference: the original per-access object generator."""
     trace: List[MemAccess] = []
 
-    def emit_rows(t: TensorDesc, row0: int, col0: int, rows: int, cols: int, kind: AccessKind) -> None:
+    def emit_rows(
+        t: TensorDesc, row0: int, col0: int, rows: int, cols: int, kind: AccessKind
+    ) -> None:
         for r in range(row0, row0 + rows):
             for addr in t.tile_row_lines(r, col0, cols):
                 trace.append(MemAccess(addr, kind, thread, t.tensor_id))
@@ -248,3 +416,14 @@ def gemm_trace(
             emit_rows(c, i0, j0, config.tile_m, config.tile_n, AccessKind.READ)
             emit_rows(c, i0, j0, config.tile_m, config.tile_n, AccessKind.WRITE)
     return trace
+
+
+def gemm_trace(
+    a: TensorDesc,
+    b: TensorDesc,
+    c: TensorDesc,
+    config: GemmConfig,
+    thread: int = 0,
+) -> List[MemAccess]:
+    """Object view of :func:`gemm_batch` (legacy API)."""
+    return gemm_batch(a, b, c, config, thread).to_accesses()

@@ -356,7 +356,8 @@ class TestSweepExecution:
             assert os.path.exists(record["artifact"])
         # Consolidated outputs.
         document = json.load(open(first.json_path))
-        assert document["schema"] == 1
+        assert document["schema_version"] == 2
+        assert document["schema"] == 2
         assert document["sweep"] == "mac2x2"
         assert document["experiment"] == "mac_policy"
         assert len(document["points"]) == 4

@@ -17,13 +17,14 @@ from repro.cpu.tenanalyzer.tensor_filter import detect_streams
 from repro.crypto.aes import AES128
 from repro.crypto.ctr import CounterModeCipher
 from repro.crypto.mac import TensorMacAccumulator, xor_macs
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchemaVersionError
 from repro.mem.mee import FunctionalMee
 from repro.npu.config import NpuConfig
 from repro.npu.delayed import DelayedVerificationEngine
 from repro.npu.systolic import GemmShape, gemm_time, gemm_times
 from repro.npu.vn import TensorVnTable
 from repro.perf.harness import (
+    BENCH_SCHEMA,
     BenchContext,
     compare_reports,
     run_benchmarks,
@@ -327,8 +328,19 @@ class TestHarness:
             assert stats["throughput_items_per_s"] > 0
 
     def test_validate_rejects_garbage(self):
-        assert validate_report({}) != []
-        assert validate_report({"schema": 99, "kind": "repro-bench"}) != []
+        with pytest.raises(SchemaVersionError):
+            validate_report({})
+        with pytest.raises(SchemaVersionError) as excinfo:
+            validate_report({"schema": 99, "kind": "repro-bench"})
+        assert excinfo.value.expected == BENCH_SCHEMA
+        assert excinfo.value.found == 99
+        assert validate_report({"schema_version": BENCH_SCHEMA, "kind": "nope"}) != []
+
+    def test_validate_rejects_pre_versioned_documents(self):
+        # A v1 report (written before the schema_version field existed)
+        # must fail loudly, naming the version it carries.
+        with pytest.raises(SchemaVersionError, match="schema version 1"):
+            validate_report({"schema": 1, "kind": "repro-bench"})
 
     def test_compare_flags_regressions(self):
         registry = _tiny_registry()
@@ -347,7 +359,7 @@ class TestHarness:
     def test_compare_tolerates_suite_growth(self):
         registry = _tiny_registry()
         report = run_benchmarks(registry.specs(), quick=True)
-        baseline = {"quick": True, "benchmarks": []}
+        baseline = {"schema_version": BENCH_SCHEMA, "quick": True, "benchmarks": []}
         lines, regressions = compare_reports(report, baseline, threshold=1.25)
         assert not regressions
         assert any("no baseline" in line for line in lines)
@@ -420,6 +432,17 @@ class TestBenchCli:
              "--json", str(out), "--compare", str(baseline), "--threshold", "100"]
         )
         assert code == 0
+
+    def test_compare_against_stale_schema_baseline_exits_2(self, tmp_path):
+        out = tmp_path / "bench.json"
+        stale = tmp_path / "baseline.json"
+        stale.write_text(json.dumps({"schema": 1, "kind": "repro-bench",
+                                     "quick": True, "benchmarks": []}))
+        code = cli_main(
+            ["bench", "--quick", "-q", "--only", "crypto.mac_fold",
+             "--json", str(out), "--compare", str(stale)]
+        )
+        assert code == 2
 
     def test_committed_baseline_is_schema_valid(self):
         import os

@@ -6,7 +6,9 @@ from repro.errors import ConfigError, SimulationError
 from repro.sim.clock import CPU_CLOCK, NPU_CLOCK, Clock
 from repro.sim.engine import EventEngine
 from repro.sim.stats import Stats
-from repro.sim.trace import AccessKind, MemAccess, interleave_round_robin, reads, writes
+from repro.sim import trace
+from repro.sim.trace import AccessKind, MemAccess, interleave_round_robin
+from repro.sim.trace_batch import TraceBatch
 
 
 class TestClock:
@@ -93,15 +95,23 @@ class TestEventEngine:
 
 class TestTrace:
     def test_reads_writes_wrappers(self):
-        r = list(reads([0, 64], thread=1, tensor_id=7))
-        w = list(writes([128]))
+        r = TraceBatch.reads([0, 64], thread=1, tensor_id=7).to_accesses()
+        w = TraceBatch.writes([128]).to_accesses()
         assert all(a.kind is AccessKind.READ for a in r)
         assert r[0].thread == 1 and r[0].tensor_id == 7
         assert w[0].is_write()
 
+    def test_deprecated_free_functions_warn_and_still_work(self):
+        with pytest.warns(DeprecationWarning, match="TraceBatch.reads"):
+            r = list(trace.reads([0, 64], thread=1, tensor_id=7))
+        with pytest.warns(DeprecationWarning, match="TraceBatch.writes"):
+            w = list(trace.writes([128]))
+        assert r == TraceBatch.reads([0, 64], thread=1, tensor_id=7).to_accesses()
+        assert w == TraceBatch.writes([128]).to_accesses()
+
     def test_interleave_preserves_all_accesses(self):
-        s1 = list(reads(range(0, 640, 64)))
-        s2 = list(writes(range(1024, 1664, 64)))
+        s1 = TraceBatch.reads(range(0, 640, 64)).to_accesses()
+        s2 = TraceBatch.writes(range(1024, 1664, 64)).to_accesses()
         merged = interleave_round_robin([s1, s2], chunk=3)
         assert len(merged) == len(s1) + len(s2)
         assert [a for a in merged if a.is_write()] == s2
