@@ -284,7 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     jobs_submit = jobs_sub.add_parser("submit", help="submit an experiment/sweep/bench job")
     jobs_submit.add_argument(
-        "task", choices=("experiment", "sweep", "bench"), help="what kind of work to enqueue"
+        "task",
+        nargs="?",
+        default=None,
+        choices=("experiment", "sweep", "bench"),
+        help="what kind of work to enqueue (omit with --batch-file)",
     )
     jobs_submit.add_argument(
         "target", nargs="?", default=None,
@@ -326,10 +330,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=600.0, metavar="SECONDS",
         help="--wait deadline (default: 600)",
     )
+    jobs_submit.add_argument(
+        "--batch-file", metavar="FILE", default=None,
+        help="submit every submission in FILE (a JSON array, or JSONL with "
+        "one submission object per line) in a single batch round trip",
+    )
     client_flags(jobs_submit)
 
-    jobs_status = jobs_sub.add_parser("status", help="one job's status (and failure traceback)")
-    jobs_status.add_argument("id", help="job id from `jobs submit`")
+    jobs_status = jobs_sub.add_parser("status", help="job status (and failure traceback)")
+    jobs_status.add_argument(
+        "id", nargs="*", default=[],
+        help="job id(s) from `jobs submit`; several ids go out as one "
+        "status batch round trip",
+    )
+    jobs_status.add_argument(
+        "--all", action="store_true",
+        help="every job the server knows, one round trip",
+    )
     client_flags(jobs_status)
 
     jobs_wait = jobs_sub.add_parser("wait", help="block until a job is terminal")
@@ -726,6 +743,114 @@ def _submission_payload(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _load_batch_file(path: str) -> list:
+    """Parse a `jobs submit --batch-file`: a JSON array, or JSONL lines."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read --batch-file {path!r}: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped:
+        raise ConfigError(f"--batch-file {path!r} is empty")
+    if stripped.startswith("["):
+        try:
+            entries = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"--batch-file {path!r} is not valid JSON: {exc}") from exc
+        if not isinstance(entries, list):
+            raise ConfigError(f"--batch-file {path!r} must hold a JSON array of submissions")
+        return entries
+    entries = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except ValueError as exc:
+            raise ConfigError(
+                f"--batch-file {path!r} line {lineno} is not valid JSON: {exc}"
+            ) from exc
+    return entries
+
+
+def _entry_is_error(view: dict) -> bool:
+    """Whether a batch answer entry is a rejection, not a job view."""
+    return "error" in view and "status" not in view
+
+
+def _submit_batch(client, args: argparse.Namespace) -> int:
+    """`jobs submit --batch-file`: one round trip for the whole file."""
+    from repro.serve import schema as serve_schema
+
+    if args.task is not None:
+        raise ConfigError(
+            "jobs submit --batch-file takes no positional task; "
+            "each file entry names its own"
+        )
+    _reject_flags(
+        "--batch-file",
+        {
+            "--params": args.params is not None,
+            "--seed": args.seed != 0,
+            "--quick": args.quick,
+            "--limit": args.limit is not None,
+            "--only": bool(args.only),
+            "--shards": args.shards is not None,
+            "--shard": args.shard is not None,
+            "--priority": args.priority != 0,
+        },
+    )
+    answer = client.submit_batch(_load_batch_file(args.batch_file))
+    if args.wait:
+        answer["jobs"] = [
+            view
+            if _entry_is_error(view) or serve_schema.view_is_terminal(view)
+            else client.wait(view["id"], timeout=args.timeout)
+            for view in answer["jobs"]
+        ]
+    rc = 0 if answer["rejected"] == 0 else 1
+    for view in answer["jobs"]:
+        if not _entry_is_error(view) and view["status"] not in ("submitted", "running", "done"):
+            rc = 1
+    if args.json:
+        json.dump(answer, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return rc
+    for index, view in enumerate(answer["jobs"]):
+        if _entry_is_error(view):
+            print(f"entry {view.get('index', index)}: error — {view['error']}", file=sys.stderr)
+        else:
+            _print_job(view, False)
+    print(f"{answer['accepted']} accepted, {answer['rejected']} rejected")
+    return rc
+
+
+def _status_batch(client, args: argparse.Namespace) -> int:
+    """`jobs status` with several ids or --all: one round trip."""
+    answer = (
+        client.status_batch(all_jobs=True) if args.all else client.status_batch(ids=args.id)
+    )
+    rc = 0
+    for view in answer["jobs"]:
+        if _entry_is_error(view):
+            rc = 2
+    if args.json:
+        json.dump(answer, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return rc
+    if not answer["jobs"]:
+        print("no jobs")
+        return rc
+    for view in answer["jobs"]:
+        if _entry_is_error(view):
+            print(f"job {view['id']}: error — {view['error']}", file=sys.stderr)
+        else:
+            _print_job(view, False)
+    return rc
+
+
 def _print_job(view: dict, as_json: bool) -> None:
     if as_json:
         json.dump(view, sys.stdout, indent=2)
@@ -751,13 +876,25 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         port=args.port or serve_schema.DEFAULT_PORT,
     )
     if args.jobs_command == "submit":
+        if args.batch_file is not None:
+            return _submit_batch(client, args)
+        if args.task is None:
+            raise ConfigError(
+                "jobs submit needs a task (experiment, sweep, or bench) or --batch-file"
+            )
         view = client.submit(_submission_payload(args))
         if args.wait and not serve_schema.view_is_terminal(view):
             view = client.wait(view["id"], timeout=args.timeout)
         _print_job(view, args.json)
         return 0 if view["status"] in ("submitted", "running", "done") else 1
     if args.jobs_command == "status":
-        _print_job(client.job(args.id), args.json)
+        if args.all and args.id:
+            raise ConfigError("jobs status takes ids or --all, not both")
+        if not args.all and not args.id:
+            raise ConfigError("jobs status needs at least one job id (or --all)")
+        if args.all or len(args.id) > 1:
+            return _status_batch(client, args)
+        _print_job(client.job(args.id[0]), args.json)
         return 0
     if args.jobs_command == "wait":
         view = client.wait(args.id, timeout=args.timeout, interval=args.interval)

@@ -316,6 +316,25 @@ class RunJournal:
         """
         self._append_line(record.to_json())
 
+    def append_jobs(self, records: List[JobRecord]) -> None:
+        """Durably append several queue-job records with one fsync.
+
+        The batch-submission fast path: the per-record open/flush/fsync
+        cycle dominates single submissions, so a batch writes every line
+        under one file handle and syncs once. All lines become durable
+        together — a crash before the fsync loses the whole batch, never
+        a prefix that the caller believed was partially durable (the
+        store updates its in-memory state only after this returns).
+        """
+        if not records:
+            return
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as f:
+            for record in records:
+                f.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
     def _append_line(self, payload: dict) -> None:
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as f:

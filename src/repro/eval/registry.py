@@ -20,6 +20,7 @@ import dataclasses
 import importlib
 import inspect
 import sys
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -193,6 +194,7 @@ class ExperimentRegistry:
         self._specs: Dict[str, ExperimentSpec] = {}
         self._sequence: Dict[str, int] = {}
         self._loaded = False
+        self._load_lock = threading.Lock()
 
     def _order_key(self, spec: ExperimentSpec) -> Tuple[int, int]:
         try:
@@ -222,8 +224,15 @@ class ExperimentRegistry:
 
         A module that is already imported but has no specs here (the
         registry was cleared) is reloaded so its decorators re-register.
+        Thread-safe: concurrent first callers (serve handler threads
+        validating submissions) serialize on one load instead of racing
+        a reload into duplicate registrations.
         """
-        if not self._loaded:
+        if self._loaded:
+            return self
+        with self._load_lock:
+            if self._loaded:
+                return self
             registered = {spec.module for spec in self._specs.values()}
             for module in EXPERIMENT_MODULES:
                 needs_rerun = (

@@ -15,13 +15,18 @@ from __future__ import annotations
 
 import importlib
 import sys
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
 #: Modules that register benchmarks; imported by ``load_all``.
-BENCH_MODULES: Tuple[str, ...] = ("repro.perf.kernels", "repro.perf.trace_replay")
+BENCH_MODULES: Tuple[str, ...] = (
+    "repro.perf.kernels",
+    "repro.perf.trace_replay",
+    "repro.perf.serve_load",
+)
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,7 @@ class BenchRegistry:
     def __init__(self) -> None:
         self._specs: Dict[str, BenchSpec] = {}
         self._loaded = False
+        self._load_lock = threading.Lock()
 
     def register(self, spec: BenchSpec) -> BenchSpec:
         if spec.name in self._specs:
@@ -58,8 +64,14 @@ class BenchRegistry:
 
         A module that is already imported but has no specs here (the
         registry was cleared) is reloaded so its decorators re-register.
+        Thread-safe: concurrent first callers serialize on one load
+        instead of racing a reload into duplicate registrations.
         """
-        if not self._loaded:
+        if self._loaded:
+            return self
+        with self._load_lock:
+            if self._loaded:
+                return self
             registered = {spec.module for spec in self._specs.values()}
             for module in BENCH_MODULES:
                 needs_rerun = (

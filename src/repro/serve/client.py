@@ -27,15 +27,22 @@ class ServeClient:
         port: int = schema.DEFAULT_PORT,
         timeout: float = 30.0,
     ) -> None:
+        """Point the client at one server; no connection is made yet."""
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: HTTP round trips issued over this client's lifetime — the
+        #: batching tests assert a batch of M jobs costs O(1) of these.
+        self.requests = 0
 
     @property
     def base_url(self) -> str:
+        """The server's ``/v1`` API root, e.g. ``http://127.0.0.1:8765/v1``."""
         return f"http://{self.host}:{self.port}{schema.API_PREFIX}"
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> Any:
+        """One HTTP round trip; every failure becomes a ServiceError."""
+        self.requests += 1
         url = self.base_url + path
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
@@ -62,16 +69,44 @@ class ServeClient:
     # -- endpoints -------------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        """Server liveness plus queue counts (``GET /health``)."""
         return self._request("GET", "/health")
 
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Submit one job; returns its wire view (maybe already done)."""
         return self._request("POST", "/jobs", payload)
 
+    def submit_batch(self, payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit many jobs in one ``POST /jobs/submit_batch`` round trip.
+
+        Returns the batch answer: ``jobs`` aligned to ``payloads`` (a
+        job view per accepted entry, ``{"index", "error"}`` per rejected
+        one) plus ``accepted``/``rejected`` counts. Accepted entries hit
+        the server journal as a single durable append; a malformed
+        *envelope* (not a list, too many entries) is a whole-request
+        :class:`~repro.errors.ServiceError` instead.
+        """
+        return self._request("POST", "/jobs/submit_batch", {"jobs": list(payloads)})
+
+    def status_batch(
+        self, ids: Optional[List[str]] = None, all_jobs: bool = False
+    ) -> Dict[str, Any]:
+        """Fetch many job views in one ``POST /jobs/status_batch`` trip.
+
+        With ``all_jobs`` the server lists every job it knows (one
+        consistent snapshot, submission order); otherwise ``ids`` are
+        resolved individually and unknown ids come back as per-entry
+        ``{"id", "error"}`` objects. Read-only; nothing is journaled.
+        """
+        body = {"all": True} if all_jobs else {"ids": list(ids or [])}
+        return self._request("POST", "/jobs/status_batch", body)
+
     def job(self, job_id: str) -> Dict[str, Any]:
+        """One job's wire view (no result payload)."""
         return self._request("GET", f"/jobs/{job_id}")
 
     def jobs(self) -> List[Dict[str, Any]]:
+        """Every job the server knows, submission order."""
         return self._request("GET", "/jobs")["jobs"]
 
     def result(self, job_id: str) -> Dict[str, Any]:
@@ -79,6 +114,7 @@ class ServeClient:
         return self._request("GET", f"/jobs/{job_id}/result")
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a still-queued job (journaled); 409 once it started."""
         return self._request("POST", f"/jobs/{job_id}/cancel", {})
 
     def claim(
@@ -123,6 +159,7 @@ class ServeClient:
         )
 
     def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop once its running job finishes."""
         return self._request("POST", "/shutdown", {})
 
     def wait(

@@ -8,6 +8,17 @@ the ``/v1`` prefix:
 ``POST /v1/jobs``         submit a job (body: a *submission*, below);
                           returns the job view — already terminal with
                           ``cached: true`` when the result cache serves it
+``POST /v1/jobs/submit_batch``  submit many jobs in one round trip
+                          (body: ``{"jobs": [submission, ...]}``); the
+                          response's ``jobs`` list is aligned to the
+                          request — a view per accepted entry, an
+                          ``{"index", "error"}`` object per rejected one
+                          (a bad spec rejects only its own entry), plus
+                          ``accepted``/``rejected`` counts. Accepted
+                          entries are journaled as one durable batch.
+``POST /v1/jobs/status_batch``  many job views in one round trip (body:
+                          ``{"ids": [...]}`` or ``{"all": true}``);
+                          unknown ids come back as per-entry errors
 ``GET  /v1/jobs``         all jobs, submission order (``{"jobs": [...]}``)
 ``GET  /v1/jobs/<id>``    one job view (status, attempts, error traceback)
 ``GET  /v1/jobs/<id>/result``  terminal payload (409 until the job finishes)
@@ -73,6 +84,10 @@ TASKS = (TASK_EXPERIMENT, TASK_SWEEP, TASK_BENCH)
 
 #: Lease length a worker gets when its claim names none (seconds).
 DEFAULT_LEASE_TTL = 60.0
+
+#: Entries one ``/v1/jobs/submit_batch`` or ``status_batch`` body may
+#: carry; a cap so a runaway client cannot wedge a handler thread.
+MAX_BATCH = 1000
 
 
 def _require_bool(value: Any, name: str) -> bool:
@@ -185,6 +200,55 @@ def validate_submission(payload: Any, autosplit: int = 1) -> Tuple[Dict[str, Any
     if unknown:
         raise ConfigError(f"unknown submission field(s) {unknown} for task {task!r}")
     return spec, priority
+
+
+def validate_batch_jobs(payload: Any) -> list:
+    """Shape-check a ``/jobs/submit_batch`` envelope; returns the entries.
+
+    Only the envelope (a ``{"jobs": [...]}`` object, non-empty, at most
+    :data:`MAX_BATCH` entries) is validated here — envelope problems are
+    a whole-request 400. Each entry is validated individually by the
+    server so that one bad spec rejects only that entry, never its batch
+    mates.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigError(f"batch must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - {"jobs"})
+    if unknown:
+        raise ConfigError(f"unknown batch field(s) {unknown}")
+    jobs = payload.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ConfigError("batch needs a non-empty 'jobs' list of submissions")
+    if len(jobs) > MAX_BATCH:
+        raise ConfigError(f"batch of {len(jobs)} jobs exceeds the limit of {MAX_BATCH}")
+    return list(jobs)
+
+
+def validate_batch_status(payload: Any) -> Tuple[list, bool]:
+    """Canonicalize a ``/jobs/status_batch`` body: ``(ids, all_jobs)``.
+
+    Either ``{"ids": [...]}`` (explicit job ids, capped at
+    :data:`MAX_BATCH`) or ``{"all": true}`` (every job the server
+    knows); naming both is refused.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigError(f"status batch must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - {"ids", "all"})
+    if unknown:
+        raise ConfigError(f"unknown status batch field(s) {unknown}")
+    all_jobs = payload.get("all", False)
+    if not isinstance(all_jobs, bool):
+        raise ConfigError(f"status batch 'all' must be a boolean, got {all_jobs!r}")
+    ids = payload.get("ids")
+    if all_jobs:
+        if ids is not None:
+            raise ConfigError("status batch takes 'ids' or 'all', not both")
+        return [], True
+    if not isinstance(ids, list) or not ids or not all(isinstance(i, str) and i for i in ids):
+        raise ConfigError("status batch needs a non-empty 'ids' list of job ids (or 'all': true)")
+    if len(ids) > MAX_BATCH:
+        raise ConfigError(f"status batch of {len(ids)} ids exceeds the limit of {MAX_BATCH}")
+    return list(ids), False
 
 
 def submission_tags(payload: Mapping[str, Any]) -> list:
@@ -330,6 +394,7 @@ def parse_body(raw: bytes) -> Any:
 
 
 def error_body(message: str) -> Dict[str, str]:
+    """The wire shape of every error answer: ``{"error": message}``."""
     return {"error": message}
 
 
@@ -341,6 +406,7 @@ def extract_error(payload: Any, fallback: str) -> str:
 
 
 def view_is_terminal(view: Mapping[str, Any]) -> bool:
+    """Whether a wire job view carries a terminal status."""
     from repro.eval.journal import TERMINAL_JOB_STATUSES
 
     return view.get("status") in TERMINAL_JOB_STATUSES

@@ -192,6 +192,92 @@ class JobService:
         )
         return record
 
+    def submit_batch(self, payload: Any) -> Dict[str, Any]:
+        """Validate, cache-probe, and enqueue a whole submission batch.
+
+        Each entry is validated independently: a bad spec becomes an
+        ``{"index", "error"}`` entry in the response while its batch
+        mates proceed. Every accepted non-fan-out entry is journaled in
+        one durable batch append (:meth:`JobStore.submit_many` — one
+        fsync, one lock hold, so a concurrent claim sees none or all of
+        them); fan-out sweeps are journaled individually through
+        :meth:`JobStore.submit_fanout`. The response's ``jobs`` list is
+        aligned to the request order.
+        """
+        bodies = schema.validate_batch_jobs(payload)
+        entries: List[Optional[Dict[str, Any]]] = [None] * len(bodies)
+        prepared: List[Tuple[int, Dict[str, Any]]] = []
+        for index, body in enumerate(bodies):
+            try:
+                spec, priority = schema.validate_submission(body, autosplit=self.autosplit)
+                tags = schema.submission_tags(body)
+                fp = schema.fingerprint(spec, self.source_digest)
+                cached = self._probe_cache(spec, fp)
+            except ConfigError as exc:
+                entries[index] = {"index": index, "error": str(exc)}
+                continue
+            if cached is None and spec.get("shards", 1) > 1:
+                children = [
+                    (child, schema.fingerprint(child, self.source_digest))
+                    for child in schema.shard_specs(spec)
+                ]
+                record = self.store.submit_fanout(
+                    spec, children, priority=priority, fingerprint=fp, tags=tags
+                )
+                entries[index] = schema.job_view(record)
+                continue
+            prepared.append(
+                (
+                    index,
+                    {
+                        "spec": spec,
+                        "priority": priority,
+                        "fingerprint": fp,
+                        "cached_result": cached,
+                        "tags": tags,
+                    },
+                )
+            )
+        records = self.store.submit_many([entry for _, entry in prepared])
+        for (index, _), record in zip(prepared, records):
+            entries[index] = schema.job_view(record)
+        accepted = sum(1 for entry in entries if entry is not None and "id" in entry)
+        rejected = len(entries) - accepted
+        self._log(
+            f"batch submitted: {accepted} accepted, {rejected} rejected "
+            f"of {len(entries)} entries"
+        )
+        return {
+            "schema": schema.SERVE_SCHEMA,
+            "jobs": entries,
+            "accepted": accepted,
+            "rejected": rejected,
+        }
+
+    def status_batch(self, payload: Any) -> Dict[str, Any]:
+        """Answer many status lookups from committed store state.
+
+        ``{"all": true}`` lists every job in submission order (one
+        consistent snapshot); ``{"ids": [...]}`` resolves each id, with
+        unknown ids answered as per-entry ``{"id", "error"}`` objects
+        rather than failing the batch. Reads only; nothing is journaled.
+        """
+        ids, all_jobs = schema.validate_batch_status(payload)
+        if all_jobs:
+            views: List[Dict[str, Any]] = [schema.job_view(r) for r in self.store.jobs()]
+        else:
+            views = []
+            for job_id in ids:
+                try:
+                    views.append(schema.job_view(self.store.get(job_id)))
+                except ConfigError as exc:
+                    views.append({"id": job_id, "error": str(exc)})
+        return {
+            "schema": schema.SERVE_SCHEMA,
+            "jobs": views,
+            "total": self.store.total(),
+        }
+
     def complete(self, job_id: str, payload: Any) -> JobRecord:
         """Apply a worker's completion report to its leased job."""
         done = schema.validate_complete(payload)
@@ -249,6 +335,7 @@ class JobService:
     # -- supervision (the executor thread) --------------------------------------
 
     def _executor_loop(self) -> None:
+        """The supervisor tick: reap leases, merge fan-outs, run jobs."""
         while not self._stop.is_set():
             try:
                 progressed = self._reap_leases()
@@ -394,13 +481,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     @property
     def service(self) -> JobService:
+        """The owning :class:`JobService` (shared across handler threads)."""
         return self.server.service
 
     def log_message(self, format: str, *args: Any) -> None:
+        """Route http.server's access log through the service logger."""
         if self.service.verbose:
             print(f"[serve] {self.address_string()} {format % args}", flush=True)
 
     def _send(self, code: int, payload: dict) -> None:
+        """Answer with a JSON body and an exact Content-Length."""
         body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -409,6 +499,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _route(self) -> Tuple[str, ...]:
+        """The request path as ``/v1``-relative segments (empty = miss)."""
         path = self.path.split("?", 1)[0].rstrip("/")
         if not path.startswith(schema.API_PREFIX):
             return ()
@@ -445,10 +536,17 @@ class _Handler(BaseHTTPRequestHandler):
                 pass  # client already gone; nothing left to answer
 
     def do_GET(self) -> None:
+        """Dispatch a GET request (read-only; nothing is journaled)."""
         self.service.touch()
         self._guarded(self._get)
 
     def _get(self) -> None:
+        """Serve the read-only endpoints: health, listings, job views.
+
+        Every answer comes from the store's committed in-memory state
+        under its lock — a request arriving mid-compaction blocks
+        briefly and then sees the full queue, never a partial snapshot.
+        """
         route = self._route()
         if route == ("health",):
             store = self.service.store
@@ -487,15 +585,27 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, schema.error_body(f"no such endpoint: GET {self.path}"))
 
     def do_POST(self) -> None:
+        """Dispatch a POST request, draining its body first (keep-alive)."""
         self.service.touch()
         body = self._read_body()
         self._guarded(lambda: self._post(body))
 
     def _post(self, body: bytes) -> None:
+        """Serve the mutating endpoints; each success is journaled.
+
+        Submissions (single and batch), claims, heartbeats, completions,
+        and cancels all append fsynced records to ``jobs.jsonl`` before
+        answering — the response never promises state the journal does
+        not yet hold. ``status_batch`` and ``shutdown`` journal nothing.
+        """
         route = self._route()
         if route == ("jobs",):
             record = self.service.submit(schema.parse_body(body))
             self._send(200, schema.job_view(record))
+        elif route == ("jobs", "submit_batch"):
+            self._send(200, self.service.submit_batch(schema.parse_body(body)))
+        elif route == ("jobs", "status_batch"):
+            self._send(200, self.service.status_batch(schema.parse_body(body)))
         elif route == ("jobs", "claim"):
             worker, lease_ttl, tags = schema.validate_claim(schema.parse_body(body))
             record = self.service.store.claim(worker=worker, lease_ttl=lease_ttl, tags=tags)

@@ -8,9 +8,11 @@ tail discipline as the sweep run journal), and the newest record per job
 id *is* the job's state. Killing the server at any instant therefore
 loses at most the line being written; reopening the store replays the
 journal and :meth:`JobStore.recover` re-enqueues whatever a dead server
-left ``running``. Recovery also compacts the journal down to its
-newest-record-per-job snapshot, so the file stays bounded by queue size
-rather than growing with every transition across restarts.
+left ``running``. The journal is compacted down to its
+newest-record-per-job snapshot both at recovery time and online — once
+the live file exceeds a record threshold (``compact_records``) with at
+least half its lines superseded — so ``jobs.jsonl`` stays bounded by
+queue size under sustained load, not just across restarts.
 
 Remote workers hold jobs under *leases*: a claim with ``lease_ttl > 0``
 journals the worker id and a wall-clock expiry, heartbeats re-journal a
@@ -28,6 +30,7 @@ one queue directory.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import threading
 import time
@@ -36,11 +39,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.eval.journal import (
+    CRASH_EXIT_CODE,
     JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
     JOB_RUNNING,
     JOB_SUBMITTED,
+    JOURNAL_SCHEMA,
+    KIND_HEADER,
     JobRecord,
     RunJournal,
     read_journal,
@@ -52,6 +58,13 @@ from repro.eval.tables import results_dir
 #: kills every worker which picks it up).
 MAX_LEASE_ATTEMPTS = 5
 
+#: Journal record count past which a live store compacts itself (override
+#: per store via the constructor, or process-wide with the
+#: ``REPRO_STORE_COMPACT_RECORDS`` environment variable). Compaction also
+#: waits until at least half the lines are superseded, so a genuinely
+#: large queue is never rewritten on every transition.
+DEFAULT_COMPACT_RECORDS = 4096
+
 
 def default_queue_dir() -> str:
     """Where the queue lives unless ``--queue-dir`` says otherwise."""
@@ -61,13 +74,38 @@ def default_queue_dir() -> str:
 class JobStore:
     """The durable queue: submit, claim, finish, cancel — all journaled."""
 
-    def __init__(self, root: Optional[str] = None, recover: bool = True) -> None:
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        recover: bool = True,
+        compact_records: Optional[int] = None,
+    ) -> None:
+        """Open (or create) the queue at ``root`` and replay its journal.
+
+        Opening journals a ``resume`` marker on an existing queue (after
+        truncating any crash-torn tail) and removes a stale compaction
+        temp file a crash may have left behind — the swap is atomic, so
+        an orphaned ``.compact.tmp`` is never part of committed state.
+        With ``recover`` (the default) dead-server recovery and a
+        compaction pass run before the store is handed out.
+        """
         self.root = root or default_queue_dir()
         self.path = os.path.join(self.root, "jobs.jsonl")
+        if compact_records is None:
+            compact_records = int(
+                os.environ.get("REPRO_STORE_COMPACT_RECORDS", DEFAULT_COMPACT_RECORDS)
+            )
+        if compact_records < 2:
+            raise ConfigError(f"compact_records must be >= 2, got {compact_records}")
+        self.compact_records = compact_records
         self._lock = threading.RLock()
         self._jobs: Dict[str, JobRecord] = {}  #: newest record per job id
         self._order: Dict[str, int] = {}  #: submission sequence (FIFO tiebreak)
         self._seq = 0
+        self._lines = 0  #: job lines in the journal file (compaction trigger)
+        stale_tmp = self.path + ".compact.tmp"
+        if os.path.isfile(stale_tmp):
+            os.remove(stale_tmp)  # a crash mid-compaction; the real journal won
         if os.path.isfile(self.path):
             self._replay()
             # attach() truncates a torn tail and appends a resume marker,
@@ -81,12 +119,14 @@ class JobStore:
             self.recover()
 
     def _replay(self) -> None:
+        """Rebuild the in-memory newest-record map from the journal."""
         view = read_journal(self.path)
         for record in view.jobs:
             if record.job_id not in self._order:
                 self._order[record.job_id] = self._seq
                 self._seq += 1
             self._jobs[record.job_id] = record
+        self._lines = len(view.jobs)
 
     def recover(self) -> List[JobRecord]:
         """Re-enqueue jobs a dead server left mid-execution, then compact.
@@ -122,28 +162,65 @@ class JobStore:
     def _compact(self) -> bool:
         """Rewrite the journal as its newest-record-per-job snapshot.
 
-        Every queue transition appends a line, so across many restarts
-        the journal would grow without bound even for a small queue.
-        When superseded records exist, the snapshot (newest record per
-        job, submission order) is written to a sibling temp file —
-        fsynced line by line, exactly like live appends — and atomically
+        Every queue transition appends a line, so under sustained load
+        (or across many restarts) the journal would grow without bound
+        even for a small queue. When superseded records exist, the
+        snapshot (newest record per job, submission order) is written to
+        a sibling ``.compact.tmp`` file, fsynced once, and atomically
         swapped in with ``os.replace``; a crash mid-compaction therefore
-        leaves either the old journal or the new one, never a hybrid.
-        No-op (returns False) when every line is already live state.
+        leaves either the old journal or the new one, never a hybrid,
+        and readers of ``jobs.jsonl`` never observe the temp file.
+        Runs at recovery time and — via :meth:`_maybe_compact` — while
+        the store is live, always under the store lock, so listings and
+        claims only ever see committed state. No-op (returns False) when
+        every line is already live state.
+
+        Fault injection: ``REPRO_STORE_CRASH_IN_COMPACT=1`` hard-exits
+        the process after the snapshot is durable but *before* the swap
+        — the widest window a real crash could hit — for the
+        kill-during-compaction tests.
         """
         with self._lock:
             view = read_journal(self.path)
             if len(view.jobs) <= len(self._jobs):
+                self._lines = len(view.jobs)
                 return False
             header = {k: v for k, v in (view.header or {}).items() if k not in ("kind", "schema")}
             header["compacted_at"] = time.time()
             header["compactions"] = int(header.get("compactions", 0)) + 1
             tmp = self.path + ".compact.tmp"
-            snapshot = RunJournal.start(tmp, header)
-            for record in self.jobs():
-                snapshot.append_job(record)
+            self._write_snapshot(tmp, header)
+            if os.environ.get("REPRO_STORE_CRASH_IN_COMPACT") == "1":
+                os._exit(CRASH_EXIT_CODE)
             os.replace(tmp, self.path)
+            self._lines = len(self._jobs)
             return True
+
+    def _write_snapshot(self, tmp: str, header: Dict[str, object]) -> None:
+        """Write header + newest-record-per-job lines to ``tmp``, one fsync."""
+        head = {"kind": KIND_HEADER, "schema": JOURNAL_SCHEMA}
+        head.update(header)
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(json.dumps(head, sort_keys=True) + "\n")
+            for record in self.jobs():
+                f.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def _maybe_compact(self) -> bool:
+        """Compact when the live journal has outgrown its queue.
+
+        Triggers once the file holds at least ``compact_records`` job
+        lines *and* half of them are superseded — the hysteresis keeps a
+        large queue of mostly-live records from being rewritten on every
+        transition. Called after each journal append, under the lock, so
+        ``jobs.jsonl`` stays bounded by ``max(compact_records, 2 x
+        queue size)`` no matter how long the server runs.
+        """
+        with self._lock:
+            if self._lines < max(self.compact_records, 2 * len(self._jobs)):
+                return False
+            return self._compact()
 
     def expire_leases(self, max_attempts: int = MAX_LEASE_ATTEMPTS) -> List[JobRecord]:
         """Reap running jobs whose worker lease has lapsed.
@@ -186,11 +263,20 @@ class JobStore:
         return transitioned
 
     def _append(self, record: JobRecord) -> None:
+        """Journal one record durably, then mirror it into memory.
+
+        The journal line lands (fsynced) before the in-memory map sees
+        the new state, so committed state is always a subset of the
+        durable journal. Appending may trigger a live compaction pass
+        (:meth:`_maybe_compact`) once the file outgrows the queue.
+        """
         self._journal.append_job(record)
         if record.job_id not in self._order:
             self._order[record.job_id] = self._seq
             self._seq += 1
         self._jobs[record.job_id] = record
+        self._lines += 1
+        self._maybe_compact()
 
     def _new_id(self) -> str:
         while True:
@@ -230,6 +316,56 @@ class JobStore:
             )
             self._append(record)
             return record
+
+    def submit_many(self, entries: Sequence[Dict[str, object]]) -> List[JobRecord]:
+        """Enqueue many specs with one lock hold and one journal fsync.
+
+        ``entries`` is a list of keyword dicts accepted by
+        :meth:`submit` (``spec`` required; ``priority``, ``fingerprint``,
+        ``cached_result``, ``tags`` optional). The whole batch is
+        journaled as a single durable append
+        (:meth:`~repro.eval.journal.RunJournal.append_jobs`), which
+        amortizes the per-submission fsync, and the in-memory queue is
+        updated only once the batch is on disk — so a concurrent
+        :meth:`claim` observes either none of the batch or all of it,
+        never a prefix. Returns the journaled records in entry order.
+        """
+        if not entries:
+            return []
+        with self._lock:
+            now = time.time()
+            taken = set(self._jobs)
+            records: List[JobRecord] = []
+            for entry in entries:
+                spec = dict(entry["spec"])  # type: ignore[arg-type]
+                cached_result = entry.get("cached_result")
+                job_id = uuid.uuid4().hex[:12]
+                while job_id in taken:
+                    job_id = uuid.uuid4().hex[:12]
+                taken.add(job_id)
+                records.append(
+                    JobRecord(
+                        job_id=job_id,
+                        task=str(spec["task"]),
+                        status=JOB_DONE if cached_result is not None else JOB_SUBMITTED,
+                        spec=spec,
+                        priority=int(entry.get("priority", 0)),  # type: ignore[arg-type]
+                        fingerprint=str(entry.get("fingerprint", "")),
+                        cached=cached_result is not None,
+                        result=cached_result,  # type: ignore[arg-type]
+                        submitted_at=now,
+                        ts=now,
+                        tags=sorted(entry.get("tags", ())),  # type: ignore[arg-type]
+                    )
+                )
+            self._journal.append_jobs(records)
+            for record in records:
+                self._order[record.job_id] = self._seq
+                self._seq += 1
+                self._jobs[record.job_id] = record
+            self._lines += len(records)
+            self._maybe_compact()
+            return records
 
     def submit_fanout(
         self,
@@ -439,6 +575,7 @@ class JobStore:
             return cancelled
 
     def get(self, job_id: str) -> JobRecord:
+        """The newest committed record of one job; unknown ids raise."""
         with self._lock:
             record = self._jobs.get(job_id)
             if record is None:
@@ -446,11 +583,19 @@ class JobStore:
             return record
 
     def jobs(self) -> List[JobRecord]:
-        """Every job, submission order."""
+        """Every job, submission order — committed state only.
+
+        Served from the in-memory newest-record map under the store
+        lock, never from the journal file: a listing issued while a
+        compaction is rewriting the journal blocks on the lock and then
+        sees the complete committed queue, not a half-written
+        ``.compact.tmp`` snapshot.
+        """
         with self._lock:
             return sorted(self._jobs.values(), key=lambda r: self._order[r.job_id])
 
     def counts(self) -> Dict[str, int]:
+        """Committed job count per status (for ``/v1/health``)."""
         with self._lock:
             out: Dict[str, int] = {}
             for record in self._jobs.values():
@@ -464,10 +609,6 @@ class JobStore:
 
     def total(self) -> int:
         """Jobs ever submitted (any status)."""
-        with self._lock:
-            return len(self._jobs)
-
-    def total(self) -> int:
         with self._lock:
             return len(self._jobs)
 

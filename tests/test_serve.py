@@ -20,6 +20,7 @@ import pytest
 
 from repro.errors import ConfigError, ServiceError
 from repro.eval.journal import (
+    CRASH_EXIT_CODE,
     JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
@@ -768,3 +769,433 @@ class TestSweepStatusNoJournal:
         capsys.readouterr()
         assert main(["sweep", "status", "m22"]) == 1  # pending points, not exit 3
         assert "pending" in capsys.readouterr().out
+
+class TestBatchSchema:
+    def test_submit_batch_envelope(self):
+        assert schema.validate_batch_jobs({"jobs": [{"task": "bench"}]}) == [{"task": "bench"}]
+        with pytest.raises(ConfigError, match="JSON object"):
+            schema.validate_batch_jobs([{"task": "bench"}])
+        with pytest.raises(ConfigError, match="unknown batch field"):
+            schema.validate_batch_jobs({"jobs": [], "oops": 1})
+        with pytest.raises(ConfigError, match="non-empty 'jobs' list"):
+            schema.validate_batch_jobs({"jobs": []})
+        with pytest.raises(ConfigError, match="exceeds the limit"):
+            schema.validate_batch_jobs({"jobs": [{}] * (schema.MAX_BATCH + 1)})
+
+    def test_status_batch_body(self):
+        assert schema.validate_batch_status({"ids": ["a", "b"]}) == (["a", "b"], False)
+        assert schema.validate_batch_status({"all": True}) == ([], True)
+        with pytest.raises(ConfigError, match="not both"):
+            schema.validate_batch_status({"ids": ["a"], "all": True})
+        with pytest.raises(ConfigError, match="non-empty 'ids' list"):
+            schema.validate_batch_status({"ids": []})
+        with pytest.raises(ConfigError, match="non-empty 'ids' list"):
+            schema.validate_batch_status({})
+        with pytest.raises(ConfigError, match="must be a boolean"):
+            schema.validate_batch_status({"all": "yes"})
+        with pytest.raises(ConfigError, match="unknown status batch field"):
+            schema.validate_batch_status({"id": "a"})
+
+
+class TestBatchEndpoints:
+    def test_mixed_batch_rejects_only_bad_entries(self, service):
+        svc, client = service(start_executor=False)
+        answer = client.submit_batch(
+            [
+                {"task": "experiment", "experiment": "table1_config", "seed": 1},
+                {"task": "mystery"},
+                {"task": "experiment", "experiment": "table1_config", "seed": 2},
+                {"task": "experiment", "experiment": "no_such_experiment"},
+            ]
+        )
+        assert answer["accepted"] == 2 and answer["rejected"] == 2
+        entries = answer["jobs"]
+        assert entries[0]["status"] == JOB_SUBMITTED
+        assert entries[1] == {"index": 1, "error": entries[1]["error"]}
+        assert "mystery" in entries[1]["error"]
+        assert entries[2]["status"] == JOB_SUBMITTED
+        assert "no_such_experiment" in entries[3]["error"]
+        # The rejected entries were never enqueued, let alone journaled.
+        assert svc.store.total() == 2
+        assert {r.job_id for r in svc.store.jobs()} == {entries[0]["id"], entries[2]["id"]}
+
+    def test_batch_is_one_round_trip(self, service):
+        svc, _ = service(start_executor=False)
+        fresh = ServeClient(port=svc.port)
+        batch = [
+            {"task": "experiment", "experiment": "table1_config", "seed": seed}
+            for seed in range(50)
+        ]
+        answer = fresh.submit_batch(batch)
+        assert answer["accepted"] == 50
+        assert fresh.requests == 1  # M jobs, O(1) HTTP round trips
+        views = fresh.status_batch(ids=[v["id"] for v in answer["jobs"]])["jobs"]
+        assert fresh.requests == 2
+        assert [v["id"] for v in views] == [v["id"] for v in answer["jobs"]]
+
+    def test_duplicate_fingerprints_in_batch_are_cached(self, service):
+        svc, client = service(start_executor=False)
+        body = {"task": "bench", "only": ["crypto.mac_fold"], "quick": True}
+        first = client.submit(dict(body))
+        claim = client.claim(worker="w1", lease_ttl=60.0)
+        assert claim["job"]["id"] == first["id"]
+        client.complete(first["id"], "w1", ok=True, result={"task": "bench", "report": {}})
+        answer = client.submit_batch(
+            [dict(body), {"task": "experiment", "experiment": "table1_config"}, dict(body)]
+        )
+        assert answer["accepted"] == 3 and answer["rejected"] == 0
+        dup_a, unique, dup_b = answer["jobs"]
+        assert dup_a["cached"] is True and dup_a["status"] == JOB_DONE
+        assert dup_b["cached"] is True and dup_b["status"] == JOB_DONE
+        assert unique["cached"] is False and unique["status"] == JOB_SUBMITTED
+        assert client.result(dup_a["id"])["result"]["cached"] is True
+
+    def test_batch_sweep_entry_fans_out(self, service, sweeps_env):
+        svc, client = service(start_executor=False)
+        answer = client.submit_batch(
+            [
+                {"task": "sweep", "spec": "m22", "shards": 2},
+                {"task": "experiment", "experiment": "table1_config"},
+            ]
+        )
+        assert answer["accepted"] == 2
+        parent = answer["jobs"][0]
+        assert len(parent["children"]) == 2
+        assert svc.store.total() == 4  # parent + 2 shard children + experiment
+
+    def test_status_batch_ids_all_and_unknown(self, service):
+        svc, client = service(start_executor=False)
+        submitted = client.submit_batch(
+            [
+                {"task": "experiment", "experiment": "table1_config", "seed": seed}
+                for seed in range(3)
+            ]
+        )["jobs"]
+        ids = [v["id"] for v in submitted]
+        answer = client.status_batch(ids=[ids[0], "doesnotexist", ids[2]])
+        views = answer["jobs"]
+        assert views[0]["id"] == ids[0] and views[0]["status"] == JOB_SUBMITTED
+        assert views[1] == {"id": "doesnotexist", "error": views[1]["error"]}
+        assert "unknown job id" in views[1]["error"]
+        assert views[2]["id"] == ids[2]
+        everything = client.status_batch(all_jobs=True)
+        assert [v["id"] for v in everything["jobs"]] == ids  # submission order
+        assert everything["total"] == 3
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/jobs/status_batch", {"ids": [], "all": True})
+        assert excinfo.value.status == 400
+
+    def test_concurrent_claims_drain_batch_exactly_once(self, service):
+        svc, client = service(start_executor=False)
+        total = 40
+        claimed = []
+        stop = threading.Event()
+
+        def hammer():
+            worker = ServeClient(port=svc.port)
+            while not stop.is_set():
+                answer = worker.claim(worker="w", lease_ttl=120.0)
+                if answer["job"] is not None:
+                    claimed.append(answer["job"]["id"])
+                elif len(claimed) >= total:
+                    return
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            answer = client.submit_batch(
+                [
+                    {"task": "experiment", "experiment": "table1_config", "seed": seed}
+                    for seed in range(total)
+                ]
+            )
+            assert answer["accepted"] == total
+            deadline = time.time() + 60
+            while len(claimed) < total and time.time() < deadline:
+                time.sleep(0.02)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        # Every batch job was claimable and claimed exactly once — a
+        # concurrent claimer saw none-or-all of the batch, never a
+        # half-journaled prefix.
+        assert sorted(claimed) == sorted(v["id"] for v in answer["jobs"])
+
+
+class TestLiveCompaction:
+    def churn(self, store, cycles):
+        ids = []
+        for i in range(cycles):
+            record = store.submit({"task": "bench", "seed": i}, fingerprint=f"fp{i}")
+            ids.append(record.job_id)
+            store.claim()
+            store.finish(record.job_id, JOB_DONE, result={"i": i})
+        return ids
+
+    def test_live_compaction_bounds_journal(self, tmp_path):
+        root = str(tmp_path / "q")
+        store = JobStore(root, compact_records=8)
+        ids = self.churn(store, 20)
+        view = read_journal(store.path)
+        assert int(view.header.get("compactions", 0)) >= 1
+        # 20 jobs x 3 transitions = 60 lines without compaction; the live
+        # file stays bounded by max(threshold, 2 x queue size).
+        assert len(view.jobs) <= max(store.compact_records, 2 * store.total())
+        assert not os.path.exists(store.path + ".compact.tmp")
+        reopened = JobStore(root, recover=False)
+        assert [reopened.get(job_id).status for job_id in ids] == [JOB_DONE] * 20
+        assert reopened.get(ids[-1]).result == {"i": 19}
+
+    def test_compact_records_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_COMPACT_RECORDS", "16")
+        store = JobStore(str(tmp_path / "q"))
+        assert store.compact_records == 16
+        assert JobStore(str(tmp_path / "q2"), compact_records=64).compact_records == 64
+        with pytest.raises(ConfigError, match="compact_records"):
+            JobStore(str(tmp_path / "q3"), compact_records=1)
+
+    def test_large_live_queue_is_not_thrashed(self, tmp_path):
+        # All-live journals (no superseded lines) must never be rewritten,
+        # even past the record threshold.
+        store = JobStore(str(tmp_path / "q"), compact_records=4)
+        for i in range(12):
+            store.submit({"task": "bench", "seed": i})
+        view = read_journal(store.path)
+        assert int(view.header.get("compactions", 0)) == 0
+        assert len(view.jobs) == 12
+
+    def test_kill_during_compaction_loses_no_records(self, tmp_path):
+        root = str(tmp_path / "queue")
+        child = (
+            "import sys\n"
+            "from repro.serve.store import JobStore\n"
+            "from repro.eval.journal import JOB_DONE\n"
+            "store = JobStore(sys.argv[1], compact_records=8)\n"
+            "for i in range(100):\n"
+            "    record = store.submit({'task': 'bench', 'seed': i}, fingerprint=f'fp{i}')\n"
+            "    print(record.job_id, flush=True)\n"
+            "    store.claim()\n"
+            "    store.finish(record.job_id, JOB_DONE, result={'i': i})\n"
+            "print('NOCRASH', flush=True)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(REPO, "src")] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        env["REPRO_STORE_CRASH_IN_COMPACT"] = "1"
+        done = subprocess.run(
+            [sys.executable, "-c", child, root],
+            env=env,
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        # The store hard-exited inside its first live compaction, after
+        # the snapshot was durable but before the atomic swap.
+        assert done.returncode == CRASH_EXIT_CODE, done.stderr
+        printed = [line for line in done.stdout.split() if line != "NOCRASH"]
+        assert printed and "NOCRASH" not in done.stdout
+        store_path = os.path.join(root, "jobs.jsonl")
+        assert os.path.exists(store_path + ".compact.tmp")
+        # The journal itself is intact: every id the child announced is
+        # still there (the crash can only have journaled one *extra*
+        # un-announced record, never lost one).
+        survivors = {r.job_id for r in read_journal(store_path).jobs}
+        assert set(printed) <= survivors
+        assert len(survivors) - len(set(printed)) <= 1
+        store = JobStore(root)  # reopen: cleans the tmp, replays, compacts
+        assert not os.path.exists(store_path + ".compact.tmp")
+        for job_id in printed:
+            assert store.get(job_id).status in (JOB_SUBMITTED, JOB_RUNNING, JOB_DONE)
+
+    def test_listing_mid_compaction_sees_committed_state(self, tmp_path):
+        # The `repro jobs list` regression: a listing racing a live
+        # compaction must block on the store lock and then see the full
+        # committed queue — never a half-written snapshot.
+        store = JobStore(str(tmp_path / "q"), compact_records=10_000)
+        ids = self.churn(store, 6)  # 18 lines, 6 jobs: plenty superseded
+        paused = threading.Event()
+        release = threading.Event()
+        snapshot = store._write_snapshot
+
+        def slow_snapshot(tmp, header):
+            paused.set()
+            assert release.wait(timeout=30)
+            snapshot(tmp, header)
+
+        store._write_snapshot = slow_snapshot
+        compactor = threading.Thread(target=store._compact)
+        compactor.start()
+        assert paused.wait(timeout=30)
+        try:
+            # On-disk journal is still the old, complete one (the tmp
+            # file is invisible to readers of jobs.jsonl).
+            view = read_journal(store.path)
+            assert {r.job_id for r in view.jobs} == set(ids)
+            listing = {}
+            lister = threading.Thread(target=lambda: listing.setdefault("jobs", store.jobs()))
+            lister.start()
+            lister.join(timeout=0.3)
+            assert "jobs" not in listing  # blocked on committed state
+        finally:
+            release.set()
+        compactor.join(timeout=30)
+        lister.join(timeout=30)
+        assert {r.job_id for r in listing["jobs"]} == set(ids)
+        compacted = read_journal(store.path)
+        assert len(compacted.jobs) == 6
+        assert {r.job_id for r in compacted.jobs} == set(ids)
+
+    def test_http_list_mid_compaction_is_complete(self, service):
+        svc, client = service(start_executor=False)
+        batch = client.submit_batch(
+            [
+                {"task": "experiment", "experiment": "table1_config", "seed": seed}
+                for seed in range(5)
+            ]
+        )
+        ids = {v["id"] for v in batch["jobs"]}
+        for job_id in list(ids)[:3]:
+            client.cancel(job_id)  # superseded lines so _compact has work
+        store = svc.store
+        paused = threading.Event()
+        release = threading.Event()
+        snapshot = store._write_snapshot
+
+        def slow_snapshot(tmp, header):
+            paused.set()
+            assert release.wait(timeout=30)
+            snapshot(tmp, header)
+
+        store._write_snapshot = slow_snapshot
+        compactor = threading.Thread(target=store._compact)
+        compactor.start()
+        assert paused.wait(timeout=30)
+        listing = {}
+        lister = threading.Thread(target=lambda: listing.setdefault("jobs", client.jobs()))
+        lister.start()
+        try:
+            lister.join(timeout=0.3)
+            assert "jobs" not in listing  # the GET is waiting, not guessing
+        finally:
+            release.set()
+        compactor.join(timeout=30)
+        lister.join(timeout=30)
+        assert {v["id"] for v in listing["jobs"]} == ids
+
+
+class TestServeLoadBenches:
+    def test_family_is_registered(self):
+        from repro.perf.registry import BENCH_REGISTRY
+
+        names = [s.name for s in BENCH_REGISTRY.select(tags=["serve"])]
+        assert names == [
+            "serve.submit_unique",
+            "serve.submit_cached",
+            "serve.submit_batch",
+            "serve.status_batch",
+            "serve.claim_cycle",
+            "serve.mixed_load",
+        ]
+        assert all(not s.paired for s in BENCH_REGISTRY.select(tags=["serve"]))
+
+    def test_submit_batch_bench_quick(self, results_env):
+        from repro.perf.harness import run_spec
+        from repro.perf.registry import BENCH_REGISTRY
+
+        record = run_spec(BENCH_REGISTRY.get("serve.submit_batch"), quick=True)
+        assert record["items"] == 16
+        assert record["modes"]["vector"]["throughput_items_per_s"] > 0
+        assert record["speedup"] is None
+
+    def test_claim_cycle_bench_reports_latency(self, results_env):
+        from repro.perf.harness import run_spec
+        from repro.perf.registry import BENCH_REGISTRY
+
+        record = run_spec(BENCH_REGISTRY.get("serve.claim_cycle"), quick=True)
+        latency = record["extra"]["claim_latency"]
+        assert latency["samples"] > 0
+        assert 0 < latency["p50_s"] <= latency["p90_s"]
+
+
+class TestJobsCliBatch:
+    def test_batch_file_array_and_jsonl(self, service, tmp_path, capsys):
+        from repro.cli import main
+
+        svc, _ = service(start_executor=False)
+        port = str(svc.port)
+        array_file = tmp_path / "batch.json"
+        array_file.write_text(
+            json.dumps(
+                [
+                    {"task": "experiment", "experiment": "table1_config", "seed": 1},
+                    {"task": "mystery"},
+                ]
+            )
+        )
+        assert main(["jobs", "submit", "--batch-file", str(array_file), "--port", port]) == 1
+        captured = capsys.readouterr()
+        assert "1 accepted, 1 rejected" in captured.out
+        assert "entry 1: error" in captured.err and "mystery" in captured.err
+        jsonl_file = tmp_path / "batch.jsonl"
+        jsonl_file.write_text(
+            '{"task": "experiment", "experiment": "table1_config", "seed": 2}\n'
+            '{"task": "experiment", "experiment": "table1_config", "seed": 3}\n'
+        )
+        code = main(["jobs", "submit", "--batch-file", str(jsonl_file), "--port", port, "--json"])
+        assert code == 0
+        answer = json.loads(capsys.readouterr().out)
+        assert answer["accepted"] == 2 and answer["rejected"] == 0
+        assert svc.store.total() == 3
+
+    def test_batch_file_misuse_is_exit_2(self, service, tmp_path, capsys):
+        from repro.cli import main
+
+        svc, _ = service(start_executor=False)
+        port = str(svc.port)
+        batch = tmp_path / "b.json"
+        batch.write_text('[{"task": "bench"}]')
+        code = main(["jobs", "submit", "bench", "--batch-file", str(batch), "--port", port])
+        assert code == 2
+        assert "no positional task" in capsys.readouterr().err
+        code = main(["jobs", "submit", "--batch-file", str(batch), "--seed", "7", "--port", port])
+        assert code == 2
+        assert "--seed" in capsys.readouterr().err
+        assert main(["jobs", "submit", "--port", port]) == 2
+        assert "or --batch-file" in capsys.readouterr().err
+        empty = tmp_path / "empty.json"
+        empty.write_text("  \n")
+        assert main(["jobs", "submit", "--batch-file", str(empty), "--port", port]) == 2
+        assert "is empty" in capsys.readouterr().err
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"task": "bench"}\n{oops\n')
+        assert main(["jobs", "submit", "--batch-file", str(torn), "--port", port]) == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_status_multi_id_and_all(self, service, capsys):
+        from repro.cli import main
+
+        svc, client = service(start_executor=False)
+        port = str(svc.port)
+        views = client.submit_batch(
+            [
+                {"task": "experiment", "experiment": "table1_config", "seed": seed}
+                for seed in range(2)
+            ]
+        )["jobs"]
+        a, b = views[0]["id"], views[1]["id"]
+        assert main(["jobs", "status", a, b, "--port", port]) == 0
+        out = capsys.readouterr().out
+        assert a in out and b in out
+        assert main(["jobs", "status", "--all", "--port", port]) == 0
+        out = capsys.readouterr().out
+        assert a in out and b in out
+        # An unknown id among several is a per-entry error and exit 2.
+        assert main(["jobs", "status", a, "nope", "--port", port]) == 2
+        captured = capsys.readouterr()
+        assert a in captured.out and "unknown job id" in captured.err
+        assert main(["jobs", "status", a, "--all", "--port", port]) == 2
+        assert "not both" in capsys.readouterr().err
+        assert main(["jobs", "status", "--port", port]) == 2
+        assert "at least one job id" in capsys.readouterr().err
