@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro {run,list,clean,bench,sweep,digest,serve,worker,jobs}``.
+"""CLI: ``python -m repro {run,list,clean,bench,sweep,sched,digest,serve,worker,jobs}``.
 
 Examples::
 
@@ -14,8 +14,10 @@ Examples::
     python -m repro sweep run npu_scaling --jobs 4
     python -m repro sweep run npu_scaling --shard 1/2 --retries 2
     python -m repro sweep run npu_scaling --resume
+    python -m repro sweep run npu_scaling --balance cost --jobs 4
     python -m repro sweep merge npu_scaling
     python -m repro sweep status npu_scaling
+    python -m repro sched plan npu_scaling --slots 4
     python -m repro digest --check benchmarks/artifact_digests.json
     python -m repro serve --port 8765 --workers 4
     python -m repro serve --external-only --autosplit 3
@@ -176,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         "quarantining it (budget persists across --resume)",
     )
     sweep_run.add_argument(
+        "--balance", choices=("round-robin", "cost"), default="round-robin",
+        help="shard/schedule partition strategy: round-robin (default, "
+        "deterministic everywhere) or cost (predicted seconds from the "
+        "learned cost model; writes schedule.json next to the journal)",
+    )
+    sweep_run.add_argument(
         "--json", action="store_true",
         help="print the consolidated sweep document to stdout",
     )
@@ -238,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan sweep submissions out into N shard jobs by default "
         "(clamped to the matrix size; default: 1 = no fan-out)",
     )
+    serve.add_argument(
+        "--autosplit-min-seconds", type=float, default=0.0, metavar="SECONDS",
+        help="size server-default fan-outs off the learned cost model: "
+        "shrink the --autosplit width until every shard job carries at "
+        "least this much predicted work (default: 0 = fixed width)",
+    )
     serve.add_argument("--quiet", "-q", action="store_true", help="no request/job lines")
 
     worker = sub.add_parser(
@@ -273,6 +287,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker identity in leases and logs (default: <hostname>-<pid>)",
     )
     worker.add_argument("--quiet", "-q", action="store_true", help="no per-job lines")
+
+    sched = sub.add_parser(
+        "sched", help="cost-model schedule planning (see EXPERIMENTS.md § Scheduling)"
+    )
+    sched_sub = sched.add_subparsers(dest="sched_command", required=True)
+    sched_plan = sched_sub.add_parser(
+        "plan", help="solve a sweep's schedule from learned costs without executing"
+    )
+    sched_plan.add_argument("spec", help="spec name under sweeps/ or a TOML path")
+    sched_plan.add_argument(
+        "--slots", type=int, default=None, metavar="N",
+        help="slots (pool workers / fleet shards) to pack onto "
+        "(default: CPU count)",
+    )
+    sched_plan.add_argument(
+        "--quick", action="store_true",
+        help="plan the --quick-truncated matrix (what a quick run schedules)",
+    )
+    sched_plan.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="cap the expanded matrix at its first N points",
+    )
+    sched_plan.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="schedule.json path (default: results/sweeps/<name>/schedule.json)",
+    )
+    sched_plan.add_argument(
+        "--json", action="store_true",
+        help="print the schedule document to stdout instead of the summary",
+    )
+    sched_plan.add_argument("--quiet", "-q", action="store_true", help="no summary lines")
 
     jobs = sub.add_parser("jobs", help="client for a running `repro serve`")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
@@ -633,6 +678,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         shard=sweep_mod.parse_shard(args.shard) if args.shard else None,
         resume=args.resume,
         retries=args.retries,
+        balance=args.balance,
     )
     if args.json:
         json.dump(result.document(), sys.stdout, indent=2)
@@ -642,6 +688,63 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(result.table())
         print(f"\nsweep: {result.json_path}\ncsv:   {result.csv_path}")
     return 0 if result.ok else 1
+
+
+def cmd_sched(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.eval import schedule as schedule_mod
+    from repro.eval import sweep as sweep_mod
+    from repro.eval.cost import CostModel
+
+    spec = sweep_mod.load_spec(args.spec)
+    points = sweep_mod.expand(spec, quick=args.quick, limit=args.limit)
+    slots = args.slots if args.slots and args.slots > 0 else (os.cpu_count() or 1)
+    model = CostModel.from_results()
+    tasks = [
+        schedule_mod.PointTask(
+            label=sweep_mod.point_label(spec.name, p.point_id),
+            experiment=spec.experiment,
+            point=p.point_id,
+            params=p.params,
+        )
+        for p in points
+    ]
+    plan = schedule_mod.plan(
+        tasks,
+        model,
+        slots,
+        sweep=spec.name,
+        experiment=spec.experiment,
+        quick=args.quick,
+        limit=args.limit,
+    )
+    document = plan.document()
+    out = args.out or os.path.join(sweep_mod.sweep_dir(spec.name), "schedule.json")
+    schedule_mod.write_schedule(out, document)
+    if args.json:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    if not args.quiet:
+        sources = ", ".join(
+            f"{count} {source}" for source, count in sorted(document["cost_sources"].items())
+        )
+        print(
+            f"schedule {spec.name}: {len(points)} point(s) onto {plan.slots} slot(s) "
+            f"[{sources}; {model.sample_count()} history sample(s)]"
+        )
+        for slot_plan in document["slot_plan"]:
+            ids = ", ".join(p["point"] for p in slot_plan["points"]) or "(idle)"
+            print(f"  slot {slot_plan['slot']}  {slot_plan['predicted_s']:8.2f}s  {ids}")
+        baseline = document["round_robin_makespan_s"]
+        predicted = document["predicted_makespan_s"]
+        ratio = f" ({baseline / predicted:.2f}x better)" if predicted > 0 else ""
+        print(
+            f"predicted makespan: {predicted:.2f}s; round-robin: {baseline:.2f}s{ratio}"
+        )
+        print(f"schedule: {out}")
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -1009,6 +1112,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "clean": cmd_clean,
         "bench": cmd_bench,
         "sweep": cmd_sweep,
+        "sched": cmd_sched,
         "digest": cmd_digest,
         "serve": cmd_serve,
         "worker": cmd_worker,

@@ -3,7 +3,8 @@
 The experiments are embarrassingly parallel — each one derives its
 figure/table from the analytic models with no shared mutable state — so the
 scheduler fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`
-(slow cost-class first, to minimize makespan), replays unchanged experiments
+(longest-predicted-first via the learned cost model, to minimize makespan),
+replays unchanged experiments
 from the :mod:`repro.eval.cache`, and records per-experiment timing, seed,
 cache key and artifact path in ``results/manifest.json``.
 
@@ -27,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.eval import cache as result_cache
+from repro.eval.cost import CostModel
 from repro.eval.journal import PointRecord, RunJournal
 from repro.eval.registry import REGISTRY, normalize_params
 from repro.eval.tables import results_dir, save_result
@@ -208,12 +210,16 @@ class Orchestrator:
         verbose: bool = True,
         show_text: bool = False,
         persistent_pool: bool = False,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self.use_cache = use_cache
         self.run_seed = run_seed
         self.verbose = verbose
         self.show_text = show_text
+        #: Predicts per-point seconds for scheduling order; built lazily
+        #: from the results-tree history on first use when not injected.
+        self.cost_model = cost_model
         #: Keep one warm worker pool across run()/run_points() calls (the
         #: ``repro serve`` mode) instead of building a pool per batch.
         self.persistent_pool = persistent_pool
@@ -408,6 +414,12 @@ class Orchestrator:
         )
         return report
 
+    def _predicted_s(self, run: ExperimentRun) -> float:
+        """Predicted seconds for one pending run (scheduling order key)."""
+        if self.cost_model is None:
+            self.cost_model = CostModel.from_results()
+        return self.cost_model.predict(run.experiment, run.params, cost_class=run.cost).seconds
+
     def _execute(
         self,
         pending: List[_Job],
@@ -416,9 +428,13 @@ class Orchestrator:
         journal: Optional[RunJournal] = None,
         retries: int = 0,
     ) -> None:
-        # Higher-priority jobs first, then long experiments so the pool's
-        # tail is short.
-        ordered = sorted(pending, key=lambda j: (-j.priority, j.run.cost != "slow"))
+        # Higher-priority jobs first, then longest-predicted first so the
+        # pool's tail is short. Prediction comes from recorded history
+        # (journals/manifests) and falls back to the static
+        # slow > medium > fast priors, so even a history-free run orders
+        # all three cost classes instead of the old binary slow/not-slow
+        # sort that let "medium" points schedule dead last.
+        ordered = sorted(pending, key=lambda j: (-j.priority, -self._predicted_s(j.run)))
         if self.jobs == 1 or (len(pending) == 1 and not self.persistent_pool):
             for job in ordered:
                 while True:

@@ -7,7 +7,8 @@ CLI (``python -m repro``) and benchmark harness all discover it through the
 shared :data:`REGISTRY`.
 
 A registered experiment carries a name, free-form tags, a ``cost`` class
-(``fast`` / ``slow`` — used by the scheduler to start long jobs first), and
+(one of :data:`COST_CLASSES` — the scheduler's static prior when no timing
+history exists; see :mod:`repro.eval.cost`), and
 a parameter schema introspected from the ``run`` signature. Execution pairs
 the decorated function with a renderer resolved lazily from the same module
 (by attribute name), so a module's natural ``run()`` / ``render()`` layout
@@ -50,6 +51,11 @@ PAPER_TAG = "paper"
 
 #: Tag carried by the parameterized off-design-point scenario experiments.
 SCENARIO_TAG = "scenario"
+
+#: Accepted ``cost`` classes, cheapest first. The class is only a static
+#: prior: once an experiment has journal/manifest history, the learned
+#: cost model (``repro.eval.cost``) predicts from recorded seconds.
+COST_CLASSES = ("fast", "medium", "slow")
 
 #: Annotation string -> accepted runtime types for simple scalar params
 #: (``int`` accepts int where ``float`` is annotated, as Python does).
@@ -108,7 +114,7 @@ class ExperimentSpec:
     module: str
     renderer: Optional[str]  #: attribute in ``module``; None -> func returns text
     tags: Tuple[str, ...]
-    cost: str  #: "fast" | "slow"
+    cost: str  #: one of COST_CLASSES ("fast" | "medium" | "slow")
     description: str
 
     def param_schema(self) -> Dict[str, dict]:
@@ -210,10 +216,10 @@ class ExperimentRegistry:
                 f"duplicate experiment name {spec.name!r}: already registered "
                 f"by {existing.module}, re-registered by {spec.module}"
             )
-        if spec.cost not in ("fast", "slow"):
+        if spec.cost not in COST_CLASSES:
             raise ConfigError(
-                f"experiment {spec.name!r}: cost must be 'fast' or 'slow', "
-                f"got {spec.cost!r}"
+                f"experiment {spec.name!r}: cost must be one of "
+                f"{'/'.join(COST_CLASSES)}, got {spec.cost!r}"
             )
         self._sequence[spec.name] = len(self._sequence)
         self._specs[spec.name] = spec

@@ -1,0 +1,325 @@
+"""Deterministic schedule solver: bin-pack points onto slots by predicted cost.
+
+Following the declarative-solve framing (state the schedule explicitly,
+keep it inspectable), this module turns a point set plus a
+:class:`repro.eval.cost.CostModel` into an explicit assignment problem:
+pack N points onto K slots (pool workers, fleet shards) to minimize the
+predicted makespan. The solver is greedy LPT (longest processing time
+first onto the least-loaded slot) — pure Python, O(n log n),
+deterministic — **guarded by the round-robin baseline**: LPT is a 4/3
+approximation but is not universally better than round-robin on every
+cost vector, so :func:`solve_assignment` computes both and keeps
+whichever has the smaller makespan. Planned makespan <= round-robin
+makespan therefore holds by construction.
+
+The plan is emitted as ``schedule.json`` (see :func:`SchedulePlan.document`
+for the layout): per-slot point assignment with per-point predicted
+seconds and provenance, predicted vs round-robin makespan, and an
+``actual`` section filled in post-run by :func:`fill_actuals` so
+predicted-vs-actual drift is a grep away. :func:`check_schedule`
+validates a document (every point exactly once, makespans consistent)
+and is shared by the tests and the nightly CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.eval.cost import CostModel
+from repro.eval.registry import REGISTRY
+
+#: schedule.json layout version; bump on breaking changes.
+SCHEDULE_SCHEMA = 1
+
+SCHEDULE_KIND = "repro-schedule"
+
+
+def makespan(costs: Sequence[float], assignment: Sequence[int], slots: int) -> float:
+    """The busiest slot's total predicted seconds under ``assignment``."""
+    loads = [0.0] * slots
+    for cost, slot in zip(costs, assignment):
+        loads[slot] += cost
+    return max(loads) if loads else 0.0
+
+
+def lpt_assignment(costs: Sequence[float], slots: int) -> List[int]:
+    """Greedy LPT: longest point first, onto the least-loaded slot.
+
+    Ties (equal costs, equal loads) break on the lower index, so the
+    assignment is a pure function of the cost vector.
+    """
+    if slots < 1:
+        raise ConfigError(f"slots must be >= 1, got {slots}")
+    loads = [0.0] * slots
+    assignment = [0] * len(costs)
+    for index in sorted(range(len(costs)), key=lambda i: (-costs[i], i)):
+        slot = min(range(slots), key=lambda k: (loads[k], k))
+        assignment[index] = slot
+        loads[slot] += costs[index]
+    return assignment
+
+
+def round_robin_assignment(count: int, slots: int) -> List[int]:
+    """The naive baseline: point ``i`` on slot ``i % slots``.
+
+    Matches the sweep engine's default ``--shard K/N`` partition, which
+    is what ``--balance cost`` must beat (or match) to be worth using.
+    """
+    if slots < 1:
+        raise ConfigError(f"slots must be >= 1, got {slots}")
+    return [i % slots for i in range(count)]
+
+
+def round_robin_makespan(costs: Sequence[float], slots: int) -> float:
+    """Makespan of the naive round-robin partition."""
+    return makespan(costs, round_robin_assignment(len(costs), slots), slots)
+
+
+def solve_assignment(costs: Sequence[float], slots: int) -> List[int]:
+    """Best of LPT and round-robin — never worse than the naive baseline."""
+    lpt = lpt_assignment(costs, slots)
+    rr = round_robin_assignment(len(costs), slots)
+    if makespan(costs, lpt, slots) <= makespan(costs, rr, slots):
+        return lpt
+    return rr
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One schedulable unit handed to the planner.
+
+    ``label`` is the orchestrator/journal label (unique), ``point`` the
+    short display id (a sweep's ``point_id``; equal to ``label`` when
+    there is no shorter form), ``params`` the raw run() overrides (the
+    cost model normalizes them itself).
+    """
+
+    label: str
+    experiment: str
+    point: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def display(self) -> str:
+        return self.point or self.label
+
+
+@dataclass
+class SchedulePlan:
+    """A solved assignment of :class:`PointTask`s onto slots."""
+
+    sweep: str
+    experiment: str
+    slots: int
+    tasks: List[PointTask]  #: matrix order (assignment indexes into this)
+    costs: List[float]  #: predicted seconds per task
+    sources: List[str]  #: estimate provenance per task
+    assignment: List[int]  #: slot per task
+    quick: bool = False
+    limit: Optional[int] = None
+
+    def predicted_makespan(self) -> float:
+        return makespan(self.costs, self.assignment, self.slots)
+
+    def baseline_makespan(self) -> float:
+        return round_robin_makespan(self.costs, self.slots)
+
+    def slot_points(self) -> List[List[int]]:
+        """Task indices per slot, matrix order preserved within a slot."""
+        slots: List[List[int]] = [[] for _ in range(self.slots)]
+        for index, slot in enumerate(self.assignment):
+            slots[slot].append(index)
+        return slots
+
+    def document(self) -> dict:
+        """The ``schedule.json`` payload (schema :data:`SCHEDULE_SCHEMA`)."""
+        slot_plans = []
+        for slot, indices in enumerate(self.slot_points()):
+            points = [
+                {
+                    "label": self.tasks[i].label,
+                    "point": self.tasks[i].display,
+                    "experiment": self.tasks[i].experiment,
+                    "predicted_s": round(self.costs[i], 6),
+                    "source": self.sources[i],
+                    "actual_s": None,
+                }
+                for i in indices
+            ]
+            slot_plans.append(
+                {
+                    "slot": slot,
+                    "predicted_s": round(sum(self.costs[i] for i in indices), 6),
+                    "actual_s": None,
+                    "points": points,
+                }
+            )
+        source_counts: Dict[str, int] = {}
+        for source in self.sources:
+            source_counts[source] = source_counts.get(source, 0) + 1
+        return {
+            "schema": SCHEDULE_SCHEMA,
+            "kind": SCHEDULE_KIND,
+            "sweep": self.sweep,
+            "experiment": self.experiment,
+            "quick": self.quick,
+            "limit": self.limit,
+            "slots": self.slots,
+            "n_points": len(self.tasks),
+            "predicted_makespan_s": round(self.predicted_makespan(), 6),
+            "round_robin_makespan_s": round(self.baseline_makespan(), 6),
+            "cost_sources": source_counts,
+            "slot_plan": slot_plans,
+            "actual": {"filled": False, "makespan_s": None},
+        }
+
+    def write(self, path: str) -> str:
+        return write_schedule(path, self.document())
+
+
+def plan(
+    tasks: Sequence[PointTask],
+    model: CostModel,
+    slots: int,
+    *,
+    sweep: str = "",
+    experiment: str = "",
+    quick: bool = False,
+    limit: Optional[int] = None,
+) -> SchedulePlan:
+    """Solve the assignment of ``tasks`` onto ``slots`` under ``model``."""
+    if slots < 1:
+        raise ConfigError(f"slots must be >= 1, got {slots}")
+    costs: List[float] = []
+    sources: List[str] = []
+    for task in tasks:
+        estimate = model.predict(
+            task.experiment, task.params, cost_class=_cost_class(task.experiment)
+        )
+        costs.append(estimate.seconds)
+        sources.append(estimate.source)
+    assignment = solve_assignment(costs, slots)
+    return SchedulePlan(
+        sweep=sweep,
+        experiment=experiment,
+        slots=slots,
+        tasks=list(tasks),
+        costs=costs,
+        sources=sources,
+        assignment=assignment,
+        quick=quick,
+        limit=limit,
+    )
+
+
+def _cost_class(experiment: str) -> str:
+    """Registry cost class, defaulting to ``fast`` for unregistered names."""
+    try:
+        return REGISTRY.get(experiment).cost
+    except ConfigError:
+        return "fast"
+
+
+def write_schedule(path: str, document: dict) -> str:
+    """Atomically write a schedule document as pretty JSON."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def fill_actuals(document: dict, elapsed_by_label: Mapping[str, float]) -> dict:
+    """A copy of ``document`` with post-run actual seconds filled in.
+
+    Points without a recorded elapsed (failed, or still pending) keep
+    ``actual_s: null``; ``actual.filled`` is only true once every point
+    has one, and ``actual.makespan_s`` is the busiest slot's known total.
+    """
+    filled = json.loads(json.dumps(document))
+    covered = 0
+    slot_totals: List[float] = []
+    for slot_plan in filled.get("slot_plan", []):
+        total = 0.0
+        for point in slot_plan.get("points", []):
+            elapsed = elapsed_by_label.get(point["label"])
+            if elapsed is not None:
+                point["actual_s"] = round(float(elapsed), 6)
+                total += float(elapsed)
+                covered += 1
+        slot_plan["actual_s"] = round(total, 6)
+        slot_totals.append(total)
+    complete = covered == filled.get("n_points", 0)
+    filled["actual"] = {
+        "filled": complete,
+        "makespan_s": round(max(slot_totals), 6) if covered and slot_totals else None,
+    }
+    return filled
+
+
+def check_schedule(document: dict, expected_labels: Optional[Sequence[str]] = None) -> None:
+    """Validate a schedule document; raises :class:`ConfigError` on defects.
+
+    Checks the schema stamp, that every point appears exactly once, that
+    slot ids are the dense range the header declares, and that the
+    recorded makespans are consistent (predicted == busiest slot,
+    predicted <= round-robin). The tests and the nightly CI gate call
+    this instead of re-deriving the invariants.
+    """
+    if document.get("kind") != SCHEDULE_KIND:
+        raise ConfigError(f"not a schedule document: kind={document.get('kind')!r}")
+    if document.get("schema") != SCHEDULE_SCHEMA:
+        raise ConfigError(
+            f"unsupported schedule schema {document.get('schema')!r} "
+            f"(expected {SCHEDULE_SCHEMA})"
+        )
+    slot_plans = document.get("slot_plan", [])
+    if [p.get("slot") for p in slot_plans] != list(range(document.get("slots", -1))):
+        raise ConfigError("slot_plan does not cover slots 0..slots-1 in order")
+    labels: List[str] = []
+    loads: List[float] = []
+    for slot_plan in slot_plans:
+        points = slot_plan.get("points", [])
+        labels.extend(p.get("label") for p in points)
+        loads.append(sum(p.get("predicted_s", 0.0) for p in points))
+    if len(labels) != len(set(labels)):
+        dupes = sorted({x for x in labels if labels.count(x) > 1})
+        raise ConfigError(f"schedule assigns point(s) more than once: {dupes}")
+    if len(labels) != document.get("n_points"):
+        raise ConfigError(
+            f"schedule covers {len(labels)} point(s), header says "
+            f"{document.get('n_points')}"
+        )
+    if expected_labels is not None and sorted(labels) != sorted(expected_labels):
+        missing = sorted(set(expected_labels) - set(labels))
+        extra = sorted(set(labels) - set(expected_labels))
+        raise ConfigError(f"schedule point set mismatch: missing {missing}, unexpected {extra}")
+    predicted = document.get("predicted_makespan_s", 0.0)
+    busiest = max(loads) if loads else 0.0
+    # Per-point predicted_s values are rounded to 1e-6 in the document,
+    # so the busiest-slot sum can drift by up to n_points * 5e-7.
+    tolerance = 1e-5 + 1e-6 * len(labels)
+    if abs(predicted - busiest) > tolerance:
+        raise ConfigError(f"predicted makespan {predicted} != busiest slot {busiest:.6f}")
+    baseline = document.get("round_robin_makespan_s", 0.0)
+    if predicted > baseline + tolerance:
+        raise ConfigError(f"planned makespan {predicted} exceeds round-robin baseline {baseline}")
+
+
+def read_schedule(path: str) -> dict:
+    """Load and validate a ``schedule.json``."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            document = json.load(f)
+    except OSError as exc:
+        raise ConfigError(f"no schedule at {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(f"unparseable schedule at {path!r}: {exc}") from exc
+    check_schedule(document)
+    return document

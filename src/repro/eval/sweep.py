@@ -48,6 +48,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.eval import cache as result_cache
+from repro.eval import schedule as schedule_mod
+from repro.eval.cost import CostModel
 from repro.eval.journal import (
     JOURNAL_SCHEMA,
     JournalView,
@@ -80,6 +82,15 @@ _SWEEP_REFRESH_HINT = "Re-run the sweep (`python -m repro sweep run <name>`)."
 MODE_GRID = "grid"
 MODE_ZIP = "zip"
 MODES = (MODE_GRID, MODE_ZIP)
+
+#: Shard-partition strategies for ``sweep run``. Round-robin is the
+#: default because it is a pure function of the expansion order — every
+#: machine computes the same slices with no shared state. ``cost``
+#: partitions by predicted seconds (see :mod:`repro.eval.schedule`) and
+#: is only deterministic for a fixed results-tree history.
+BALANCE_ROUND_ROBIN = "round-robin"
+BALANCE_COST = "cost"
+BALANCES = (BALANCE_ROUND_ROBIN, BALANCE_COST)
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
 
@@ -183,6 +194,34 @@ def shard_points(points: Sequence[SweepPoint], shard: Optional[Shard]) -> List[S
     if shard is None:
         return list(points)
     return [p for p in points if p.index % shard.count == shard.index - 1]
+
+
+def shard_points_cost(
+    points: Sequence[SweepPoint],
+    shard: Optional[Shard],
+    spec: SweepSpec,
+    model: CostModel,
+) -> List[SweepPoint]:
+    """Cost-balanced partition: shard ``K`` is slot ``K-1`` of the solve.
+
+    The solver bin-packs the whole matrix onto ``count`` slots by
+    predicted seconds (never worse than round-robin — see
+    :func:`repro.eval.schedule.solve_assignment`), so a skewed matrix
+    stops putting all its slow points on one machine. Matrix order is
+    preserved within each shard. The slices are still disjoint and
+    complete, so ``sweep merge`` consolidates them unchanged — but they
+    are only reproducible against the *same* learned history, which is
+    why round-robin stays the default.
+    """
+    if shard is None:
+        return list(points)
+    cost_class = REGISTRY.get(spec.experiment).cost
+    costs = [
+        model.predict(spec.experiment, p.params, cost_class=cost_class).seconds
+        for p in points
+    ]
+    assignment = schedule_mod.solve_assignment(costs, shard.count)
+    return [p for p, slot in zip(points, assignment) if slot == shard.index - 1]
 
 
 # -- spec construction --------------------------------------------------------
@@ -811,6 +850,7 @@ def _journal_header(
     quick: bool,
     limit: Optional[int],
     digest: str,
+    balance: str = BALANCE_ROUND_ROBIN,
 ) -> dict:
     return {
         "sweep": spec.name,
@@ -820,6 +860,7 @@ def _journal_header(
         "quick": quick,
         "limit": limit,
         "shard": shard.as_dict() if shard else None,
+        "balance": balance,
         "source_digest": digest,
         "n_points": len(points),
         "labels": [point_label(spec.name, p.point_id) for p in points],
@@ -833,6 +874,7 @@ def _check_resume_header(
     shard: Optional[Shard],
     quick: bool,
     limit: Optional[int],
+    balance: str = BALANCE_ROUND_ROBIN,
 ) -> None:
     """A resumed run must continue the *same* matrix the journal began."""
     if header is None:
@@ -845,7 +887,11 @@ def _check_resume_header(
         "quick": quick,
         "limit": limit,
         "shard": shard.as_dict() if shard else None,
+        # Journals from before the balance knob existed are round-robin.
+        "balance": balance,
     }
+    header = dict(header)
+    header.setdefault("balance", BALANCE_ROUND_ROBIN)
     mismatched = {
         name: (header.get(name), value)
         for name, value in expected.items()
@@ -874,6 +920,7 @@ def run_sweep(
     resume: bool = False,
     retries: int = 0,
     orchestrator: Optional[Orchestrator] = None,
+    balance: str = BALANCE_ROUND_ROBIN,
 ) -> SweepResult:
     """Expand ``spec`` and run every point through the orchestrator.
 
@@ -895,9 +942,16 @@ def run_sweep(
     instance. Its ``jobs``/``use_cache`` settings take precedence over
     the same-named arguments here; its ``run_seed`` is set to the spec's
     seed so cache keys and resume planning stay consistent.
+
+    ``balance="cost"`` partitions shards and plans execution by predicted
+    seconds from the learned cost model instead of round-robin, and emits
+    the solved plan as ``schedule.json`` next to the journal (predicted
+    per-slot assignment before the run, actual seconds filled in after).
     """
     if retries < 0:
         raise ConfigError(f"retries must be >= 0, got {retries}")
+    if balance not in BALANCES:
+        raise ConfigError(f"balance must be one of {BALANCES}, got {balance!r}")
     if orchestrator is not None:
         orchestrator.run_seed = spec.seed
         use_cache = orchestrator.use_cache
@@ -907,7 +961,12 @@ def run_sweep(
             "it cannot be combined with --no-cache"
         )
     all_points = expand(spec, quick=quick, limit=limit)
-    points = shard_points(all_points, shard)
+    cost_model: Optional[CostModel] = None
+    if balance == BALANCE_COST:
+        cost_model = CostModel.from_results()
+        points = shard_points_cost(all_points, shard, spec, cost_model)
+    else:
+        points = shard_points(all_points, shard)
     out_dir = sweep_dir(spec.name, shard)
     os.makedirs(out_dir, exist_ok=True)
     journal_path = os.path.join(out_dir, "journal.jsonl")
@@ -916,14 +975,24 @@ def run_sweep(
     replay_failed: Dict[str, PointRecord] = {}
     if resume:
         view = read_journal(journal_path)
-        _check_resume_header(view.header, spec, shard, quick, limit)
+        _check_resume_header(view.header, spec, shard, quick, limit, balance)
+        if balance == BALANCE_COST and view.header is not None:
+            want = [point_label(spec.name, p.point_id) for p in points]
+            if view.header.get("labels") != want:
+                raise ConfigError(
+                    "--resume with --balance cost: the learned cost history has "
+                    "changed since this journal was started, so the cost-balanced "
+                    "shard slice no longer matches; re-run without --resume "
+                    "(or with the default round-robin balance)"
+                )
         prior_attempts, replay_failed = plan_resume(
             view, expected_keys(spec, points, digest), retries
         )
         journal = RunJournal.attach(journal_path)
     else:
         journal = RunJournal.start(
-            journal_path, _journal_header(spec, points, shard, quick, limit, digest)
+            journal_path,
+            _journal_header(spec, points, shard, quick, limit, digest, balance),
         )
     requests = [
         PointRequest(
@@ -935,8 +1004,42 @@ def run_sweep(
     ]
     if orchestrator is None:
         orchestrator = Orchestrator(
-            jobs=jobs, use_cache=use_cache, run_seed=spec.seed, verbose=verbose
+            jobs=jobs,
+            use_cache=use_cache,
+            run_seed=spec.seed,
+            verbose=verbose,
+            cost_model=cost_model,
         )
+    schedule_doc: Optional[dict] = None
+    schedule_path = os.path.join(out_dir, "schedule.json")
+    if cost_model is not None:
+        tasks = [
+            schedule_mod.PointTask(
+                label=point_label(spec.name, p.point_id),
+                experiment=spec.experiment,
+                point=p.point_id,
+                params=p.params,
+            )
+            for p in points
+        ]
+        plan = schedule_mod.plan(
+            tasks,
+            cost_model,
+            orchestrator.jobs,
+            sweep=spec.name,
+            experiment=spec.experiment,
+            quick=quick,
+            limit=limit,
+        )
+        schedule_doc = plan.document()
+        schedule_mod.write_schedule(schedule_path, schedule_doc)
+        if verbose:
+            print(
+                f"schedule: {schedule_path} (predicted makespan "
+                f"{plan.predicted_makespan():.1f}s vs round-robin "
+                f"{plan.baseline_makespan():.1f}s on {plan.slots} slot(s))",
+                flush=True,
+            )
     report = orchestrator.run_points(
         requests,
         write_manifest=True,
@@ -946,6 +1049,13 @@ def run_sweep(
         prior_attempts=prior_attempts,
         replay_failed=replay_failed,
     )
+    if schedule_doc is not None:
+        elapsed = {
+            run.name: run.elapsed_s
+            for run in report.runs
+            if run.status in (STATUS_EXECUTED, STATUS_CACHED)
+        }
+        schedule_mod.write_schedule(schedule_path, schedule_mod.fill_actuals(schedule_doc, elapsed))
     result = SweepResult(
         spec=spec,
         points=points,

@@ -190,7 +190,10 @@ def build_worker(args: Any) -> Worker:
     try:
         port_num = int(port)
     except ValueError:
-        raise ServiceError(f"--server must look like HOST:PORT, got {args.server!r}")
+        raise ServiceError(
+            f"--server must look like HOST:PORT (e.g. 127.0.0.1:8765), "
+            f"got {args.server!r}"
+        ) from None
     return Worker(
         host=host or schema.DEFAULT_HOST,
         port=port_num,

@@ -78,9 +78,18 @@ class TestRegistry:
         registry = ExperimentRegistry()
         with pytest.raises(ConfigError, match="cost"):
 
-            @experiment("bad-cost", cost="medium", render=None, registry=registry)
+            @experiment("bad-cost", cost="huge", render=None, registry=registry)
             def exp() -> str:
                 return ""
+
+    def test_medium_cost_class_accepted(self):
+        registry = ExperimentRegistry()
+
+        @experiment("mid-cost", cost="medium", render=None, registry=registry)
+        def exp() -> str:
+            return ""
+
+        assert registry._specs["mid-cost"].cost == "medium"
 
     def test_param_schema_introspected(self):
         schema = REGISTRY.get("fig03_adam_slowdown").param_schema()
@@ -215,6 +224,67 @@ class TestOrchestrator:
         assert not result.ok
         assert result.runs[0].status == "failed"
         assert "kaput" in result.runs[0].error
+
+    def test_cost_class_ordering_slow_medium_fast(self, results_env):
+        # Regression for the binary (cost != "slow") sort: with no recorded
+        # history the static fallback must order slow > medium > fast, not
+        # leave "medium" tied with "fast" at the pool's tail.
+        from repro.eval.cost import CostModel
+
+        executed = []
+        registry = ExperimentRegistry()
+
+        def make(name):
+            def run() -> str:
+                executed.append(name)
+                return name
+
+            return run
+
+        names = [("ord-fast", "fast"), ("ord-medium", "medium"), ("ord-slow", "slow")]
+        for name, cost in names:
+            experiment(name, cost=cost, render=None, registry=registry)(make(name))
+            REGISTRY._specs[name] = registry._specs[name]
+        try:
+            report = Orchestrator(
+                jobs=1, use_cache=False, verbose=False, cost_model=CostModel()
+            ).run(only=[name for name, _ in names], write_manifest=False)
+        finally:
+            for name, _ in names:
+                del REGISTRY._specs[name]
+        assert report.ok
+        assert executed == ["ord-slow", "ord-medium", "ord-fast"]
+
+    def test_learned_history_overrides_static_cost_class(self, results_env):
+        # A "fast"-classed experiment with recorded long runtimes must
+        # schedule ahead of a history-free "slow" one.
+        from repro.eval.cost import CostModel
+
+        executed = []
+        registry = ExperimentRegistry()
+
+        def make(name):
+            def run() -> str:
+                executed.append(name)
+                return name
+
+            return run
+
+        names = [("hist-fast", "fast"), ("hist-slow", "slow")]
+        for name, cost in names:
+            experiment(name, cost=cost, render=None, registry=registry)(make(name))
+            REGISTRY._specs[name] = registry._specs[name]
+        model = CostModel()
+        model.observe("hist-fast", {}, 120.0)
+        try:
+            report = Orchestrator(
+                jobs=1, use_cache=False, verbose=False, cost_model=model
+            ).run(only=[name for name, _ in names], write_manifest=False)
+        finally:
+            for name, _ in names:
+                del REGISTRY._specs[name]
+        assert report.ok
+        assert executed == ["hist-fast", "hist-slow"]
 
     def test_unmatched_param_override_rejected(self, results_env):
         with pytest.raises(ConfigError, match="not in this run"):

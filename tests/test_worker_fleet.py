@@ -171,6 +171,24 @@ class TestCompaction:
         assert again.claim().job_id == first.job_id
 
 
+    def test_fifo_within_priority_survives_compaction_cycle(self, results_env):
+        # Enough finished-job churn to trip live compaction (threshold 2),
+        # then a recover() reopen: claim order must still be priority-desc
+        # with FIFO inside each priority band.
+        root = str(results_env / "queue")
+        store = JobStore(root, compact_records=2)
+        for i in range(4):
+            done = store.submit({"task": "bench", "seed": i}, fingerprint=f"fp{i}")
+            store.claim()
+            store.finish(done.job_id, JOB_DONE, result={"i": i})
+        low = [store.submit({"task": "bench", "lane": i}) for i in range(3)]
+        high = [store.submit({"task": "bench", "hot": i}, priority=5) for i in range(2)]
+        assert int(read_journal(store.path).header.get("compactions", 0)) >= 1
+        reopened = JobStore(root)  # recover + another compaction pass
+        claimed = [reopened.claim().job_id for _ in range(5)]
+        assert claimed == [r.job_id for r in high + low]
+
+
 class TestFanoutSchema:
     def test_shards_resolve_and_clamp(self, results_env, sweeps_env):
         spec, _ = schema.validate_submission({"task": "sweep", "spec": "m22", "shards": 3})
@@ -315,6 +333,17 @@ class TestLeaseWire:
 
 
 class TestWorker:
+    def test_bad_server_argument_exits_2_cleanly(self, capsys):
+        # ``repro worker --server localhost`` (no port) must exit 2 with
+        # a HOST:PORT hint on stderr, not an int() traceback.
+        from repro.cli import main
+
+        assert main(["worker", "--server", "localhost"]) == 2
+        captured = capsys.readouterr()
+        assert "HOST:PORT" in captured.err
+        assert "'localhost'" in captured.err
+        assert "Traceback" not in captured.err + captured.out
+
     def test_worker_drains_the_queue_once(self, results_env, service):
         svc, client = service(workers=1, external_only=True)
         a = submit_experiment(client, "table1_config")
