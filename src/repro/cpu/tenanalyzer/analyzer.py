@@ -83,7 +83,13 @@ class TenAnalyzer:
         enabled: bool = True,
         vn_store: Optional[OffChipVnStore] = None,
         stats: Optional[Stats] = None,
+        stride_detect: bool = False,
     ) -> None:
+        """``stride_detect`` relaxes the Tensor Filter's contiguity check
+        to constant line strides (and makes trace priming do the same by
+        default), so strided layouts can seed strided Meta Table entries.
+        Off by default — the paper's detector is strictly line-contiguous.
+        """
         if capacity <= 0:
             raise ConfigError("Meta Table capacity must be positive")
         self.stats = stats if stats is not None else Stats("tenanalyzer")
@@ -98,6 +104,7 @@ class TenAnalyzer:
             n_entries=filter_entries,
             collect_target=filter_collect,
             stats=self.stats.scope("tensor_filter"),
+            stride_detect=stride_detect,
         )
         self.enabled = enabled  # EnTMF
 
@@ -312,45 +319,69 @@ class TenAnalyzer:
 
     # -- fast-path installation from transfer descriptors (Sec. 4.2) ----------
 
-    def install_from_transfer(self, base_va: int, n_lines: int, vn: int) -> MetaTableEntry:
+    def install_from_transfer(
+        self, base_va: int, n_lines: int, vn: int, stride_lines: int = 1
+    ) -> MetaTableEntry:
         """Create a full-range entry from an NPU transfer descriptor.
 
         Data-transfer instructions carry (address, size, stride); TensorTEE
         uses them to seed the Meta Table without waiting for detection.
+        ``stride_lines > 1`` installs a strided entry: ``n_lines`` lines
+        spaced ``stride_lines`` apart (a 2D transfer's per-row first line).
         """
         if base_va % LINE or n_lines <= 0:
             raise ConfigError("transfer descriptor must be line-aligned and non-empty")
+        if stride_lines <= 0:
+            raise ConfigError("transfer stride must be positive")
         from repro.cpu.tenanalyzer.entry import EntryGeometry
 
-        geometry = EntryGeometry(
-            base_va=base_va,
-            run_lines=n_lines,
-            stride_lines=n_lines,
-            count=1,
-            extensible_run=True,
-        )
-        self.vn_store.set_range(base_va, n_lines, vn)
+        if stride_lines == 1:
+            geometry = EntryGeometry(
+                base_va=base_va,
+                run_lines=n_lines,
+                stride_lines=n_lines,
+                count=1,
+                extensible_run=True,
+            )
+            self.vn_store.set_range(base_va, n_lines, vn)
+        else:
+            geometry = EntryGeometry(
+                base_va=base_va,
+                run_lines=1,
+                stride_lines=stride_lines,
+                count=n_lines,
+                extensible_run=False,
+            )
+            self.vn_store.set_strided(base_va, n_lines, stride_lines, vn)
         entry = self.table.insert(geometry, vn=vn, source="transfer")
         self.stats.add("transfer_installs")
         return entry
 
     def prime_from_trace(
-        self, vaddrs: Sequence[int], vns: Optional[Sequence[int]] = None
+        self,
+        vaddrs: Sequence[int],
+        vns: Optional[Sequence[int]] = None,
+        detect_strides: Optional[bool] = None,
     ) -> int:
         """Batch cold-start detection over a recorded miss trace.
 
         Scans the whole (address, VN) stream for the tensor condition in
         one pass (:func:`detect_streams`) instead of feeding the Tensor
         Filter one miss at a time, then installs an entry per detected
-        stream. ``vns=None`` reads the off-chip store. Returns how many
-        entries were installed.
+        stream. ``vns=None`` reads the off-chip store.
+        ``detect_strides=None`` follows the filter's ``stride_detect``
+        setting. Returns how many entries were installed.
         """
         if not self.enabled:
             return 0
         if vns is None:
             vns = self.vn_store.read_many(vaddrs)
+        if detect_strides is None:
+            detect_strides = self.filter.stride_detect
         installed = 0
-        for geometry, vn in detect_streams(vaddrs, vns, self.filter.collect_target):
+        for geometry, vn in detect_streams(
+            vaddrs, vns, self.filter.collect_target, detect_strides=detect_strides
+        ):
             self.table.insert(geometry, vn=vn, source="scan")
             self.filter.drop_covering(geometry.base_va)
             installed += 1

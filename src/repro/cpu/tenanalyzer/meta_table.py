@@ -143,6 +143,10 @@ class MetaTable:
         entry = MetaTableEntry(geometry=geometry, vn=vn, source=source)
         entry_id = self._admit(entry)
         self.stats.add("insertions")
+        if geometry.count > 1:
+            # Strided (2D) detections tracked separately: layout sweeps
+            # compare how much coverage arrives as strided vs. 1D entries.
+            self.stats.add("insertions_strided")
         merged = self._attempt_merges(entry_id)
         return self._entries[merged]
 
@@ -282,6 +286,11 @@ class MetaTable:
     @property
     def n_entries(self) -> int:
         return len(self._entries)
+
+    @property
+    def n_strided_entries(self) -> int:
+        """Resident entries with a multi-run (strided) geometry."""
+        return sum(1 for e in self._entries.values() if e.geometry.count > 1)
 
     def entries(self) -> List[MetaTableEntry]:
         return list(self._entries.values())

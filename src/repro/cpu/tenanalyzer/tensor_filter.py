@@ -14,15 +14,92 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro import vec
-from repro.cpu.tenanalyzer.entry import EntryGeometry
+from repro.cpu.tenanalyzer.entry import MAX_STRIDE_LINES, EntryGeometry
 from repro.sim.stats import Stats
 from repro.units import CACHELINE_BYTES
 
 LINE = CACHELINE_BYTES
 
 
+def _stream_geometry(base_va: int, run: int, stride_lines: int) -> EntryGeometry:
+    """Geometry of one detected run: 1D when unit-stride, strided otherwise."""
+    if stride_lines == 1:
+        return EntryGeometry(
+            base_va=base_va,
+            run_lines=run,
+            stride_lines=run,
+            count=1,
+            extensible_run=True,
+        )
+    return EntryGeometry(
+        base_va=base_va,
+        run_lines=1,
+        stride_lines=stride_lines,
+        count=run,
+        extensible_run=False,
+    )
+
+
+def _detect_strided(
+    vaddrs: Sequence[int], vns: Sequence[int], min_run: int
+) -> List[tuple[EntryGeometry, int]]:
+    """Maximal constant-stride (arithmetic-progression) run scan.
+
+    A run is a maximal sequence of line-aligned addresses with one locked
+    positive line stride (any multiple of the line size up to
+    :data:`MAX_STRIDE_LINES` — the Meta Table's stride field width) and
+    one shared VN. Alternating-stride patterns (e.g. run-2-skip-6 from a
+    sliced row walk) break into sub-``min_run`` pieces and stay
+    undetected — that is the realistic accuracy degradation the layout
+    sweeps measure. Runs never share elements, so the resulting entries
+    never overlap. State-serial by nature; used by both vectorize modes.
+    """
+    total = len(vaddrs)
+    streams: List[tuple[EntryGeometry, int]] = []
+    start = 0
+    locked = 0  # locked byte stride; 0 = not locked yet
+
+    def emit(start: int, stop: int, stride: int) -> bool:
+        run = stop - start
+        if run < min_run or stride == 0:
+            return False
+        streams.append((_stream_geometry(vaddrs[start], run, stride // LINE), vns[start]))
+        return True
+
+    for i in range(1, total + 1):
+        if i < total:
+            diff = vaddrs[i] - vaddrs[i - 1]
+            valid = (
+                diff > 0
+                and diff % LINE == 0
+                and diff // LINE <= MAX_STRIDE_LINES
+                and vns[i] == vns[i - 1]
+            )
+            if valid and (locked == 0 or diff == locked):
+                locked = diff
+                continue
+            if valid:
+                # Stride changed: close the run; the boundary element seeds
+                # the next run only when the closed run was too short to
+                # emit (emitted runs must not overlap the next entry).
+                if emit(start, i, locked):
+                    start = i
+                    locked = 0
+                else:
+                    start = i - 1
+                    locked = diff
+                continue
+        emit(start, i, locked)
+        start = i
+        locked = 0
+    return streams
+
+
 def detect_streams(
-    vaddrs: Sequence[int], vns: Sequence[int], min_run: int = 4
+    vaddrs: Sequence[int],
+    vns: Sequence[int],
+    min_run: int = 4,
+    detect_strides: bool = False,
 ) -> List[tuple[EntryGeometry, int]]:
     """Batch tensor-condition scan over a whole (address, VN) trace.
 
@@ -31,12 +108,19 @@ def detect_streams(
     time — and returns ``(geometry, vn)`` per run of at least ``min_run``
     lines. The batched path reduces the scan to two array diffs; the
     scalar path is the reference loop.
+
+    ``detect_strides=True`` relaxes the contiguity condition to *any*
+    constant line stride (up to the Meta Table's representable
+    :data:`MAX_STRIDE_LINES`), returning strided geometries for
+    non-unit-stride runs — see :func:`_detect_strided`.
     """
     if len(vaddrs) != len(vns):
         raise ValueError("vaddrs and vns must pair up one per access")
     total = len(vaddrs)
     if total == 0:
         return []
+    if detect_strides:
+        return _detect_strided(vaddrs, vns, min_run)
 
     def stream(start: int, run: int) -> tuple[EntryGeometry, int]:
         geometry = EntryGeometry(
@@ -82,24 +166,40 @@ class FilterEntry:
     vn: int
     collected: int = 1
     lru_tick: int = 0
+    #: Locked line stride of the candidate (1 = contiguous). Stride-aware
+    #: collection locks it on the second observation; the default filter
+    #: never changes it.
+    stride_lines: int = 1
 
     @property
     def next_va(self) -> int:
-        return self.base_va + self.collected * LINE
+        return self.base_va + self.collected * self.stride_lines * LINE
 
 
 class TensorFilter:
-    """Collects read-miss addresses and proposes Meta Table entries."""
+    """Collects read-miss addresses and proposes Meta Table entries.
+
+    ``stride_detect=True`` additionally locks a constant line stride onto
+    a one-miss-old candidate (the second miss of a stream defines its
+    stride, the way transfer descriptors carry ``(address, size,
+    stride)``), so non-unit-stride streams can still reach the
+    ``collect_target`` and seed strided Meta Table entries. Off by
+    default: the paper's filter checks strict line contiguity.
+    """
 
     def __init__(
         self,
         n_entries: int = 10,
         collect_target: int = 4,
         stats: Optional[Stats] = None,
+        stride_detect: bool = False,
+        max_stride_lines: int = MAX_STRIDE_LINES,
     ) -> None:
         self.n_entries = n_entries
         self.collect_target = collect_target
         self.stats = stats if stats is not None else Stats("tensor_filter")
+        self.stride_detect = stride_detect
+        self.max_stride_lines = max_stride_lines
         self._entries: List[FilterEntry] = []
         self._tick = 0
 
@@ -107,7 +207,8 @@ class TensorFilter:
         """Feed one read-miss; returns a detected geometry when ready.
 
         The stream check is the paper's tensor condition: a consistent
-        (line-contiguous) address pattern with one shared VN.
+        (line-contiguous, or constant-stride when ``stride_detect`` is on)
+        address pattern with one shared VN.
         """
         self._tick += 1
         for index, entry in enumerate(self._entries):
@@ -122,14 +223,21 @@ class TensorFilter:
                 if entry.collected >= self.collect_target:
                     self._entries.pop(index)
                     self.stats.add("detections")
-                    return EntryGeometry(
-                        base_va=entry.base_va,
-                        run_lines=entry.collected,
-                        stride_lines=entry.collected,
-                        count=1,
-                        extensible_run=True,
+                    return _stream_geometry(
+                        entry.base_va, entry.collected, entry.stride_lines
                     )
                 return None
+        if self.stride_detect:
+            for entry in self._entries:
+                if entry.collected != 1 or vn != entry.vn:
+                    continue
+                diff = vaddr - entry.base_va
+                if diff > LINE and diff % LINE == 0 and diff // LINE <= self.max_stride_lines:
+                    entry.stride_lines = diff // LINE
+                    entry.collected = 2
+                    entry.lru_tick = self._tick
+                    self.stats.add("stride_locks")
+                    return None
         self._allocate(vaddr, vn)
         return None
 

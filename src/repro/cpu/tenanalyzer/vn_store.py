@@ -64,6 +64,23 @@ class OffChipVnStore:
         line = CACHELINE_BYTES
         self._vn.update((base + i * line, vn) for i in range(n_lines))
 
+    def set_strided(
+        self, base_va: int, count: int, stride_lines: int, vn: int, run_lines: int = 1
+    ) -> None:
+        """Set a strided line pattern to ``vn``: ``count`` runs of
+        ``run_lines`` consecutive lines, run starts ``stride_lines`` apart.
+
+        ``count=1`` (or ``stride_lines == run_lines``) degenerates to
+        :meth:`set_range`; used by strided transfer-descriptor installs.
+        """
+        base = self._line(base_va)
+        line = CACHELINE_BYTES
+        self._vn.update(
+            (base + (r * stride_lines + i) * line, vn)
+            for r in range(count)
+            for i in range(run_lines)
+        )
+
     @property
     def tracked_lines(self) -> int:
         return len(self._vn)

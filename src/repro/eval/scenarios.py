@@ -10,7 +10,13 @@ The 16 paper experiments each pin one configuration; these three are
   as a function of capacity and associativity, generalizing the fixed
   32 KB/8-way Table-1 point;
 - ``mac_policy`` — MAC granularity x verification policy (eager vs
-  delayed), generalizing Fig. 20's eager-only granularity axis.
+  delayed), generalizing Fig. 20's eager-only granularity axis;
+- ``attention_layout`` — TenAnalyzer detection/merge behaviour on a
+  blockwise attention pass as a function of head dim and Q/K/V storage
+  layout (head-major vs feature-interleaved views);
+- ``stride_detection`` — detection accuracy on a constant-stride line
+  walk as a function of the stride, with the stride-aware Tensor Filter
+  on or off.
 
 Each returns a result with ``as_dict`` so sweep metrics can be extracted
 from the orchestrator summary by dotted path.
@@ -25,6 +31,7 @@ from typing import Dict
 from repro import vec
 from repro.core.config import baseline_system, non_secure_system, tensortee_system
 from repro.core.system import CollaborativeSystem
+from repro.cpu.tenanalyzer.analyzer import TenAnalyzer
 from repro.errors import ConfigError
 from repro.eval.registry import experiment
 from repro.eval.tables import ascii_table, fmt, pct
@@ -33,8 +40,16 @@ from repro.mem.metadata_cache import MetadataCache, MetadataKind
 from repro.npu.config import NpuConfig
 from repro.npu.kernels import iteration_time_s
 from repro.npu.mac import MacScheme
-from repro.units import KiB
+from repro.sim.trace_batch import KIND_READ
+from repro.tensor.dtype import DType
+from repro.tensor.registry import TensorRegistry
+from repro.units import CACHELINE_BYTES, KiB, PAGE_BYTES
 from repro.workloads.models import scaled_model
+from repro.workloads.traces import (
+    AttentionConfig,
+    attention_batch,
+    build_attention_tensors,
+)
 
 # -- scale_npu_pipeline -------------------------------------------------------
 
@@ -501,6 +516,246 @@ def mac_policy(
         stall_overhead=scheme.stall_overhead(config),
         perf_overhead=scheme.performance_overhead(config),
         base_iteration_s=iteration_time_s(config, model),
+    )
+
+
+# -- attention_layout ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttentionLayoutResult:
+    """TenAnalyzer behaviour on one (layout, head_dim) attention point."""
+
+    layout: str
+    head_dim: int
+    n_heads: int
+    seq_len: int
+    stride_detect: bool
+    accesses: int
+    trace_lines: int
+    covered_fraction: float  #: distinct trace lines under a Meta Table entry
+    hit_in: float
+    hit_boundary: float
+    hit_all: float
+    write_violations: int
+    insertions: int
+    insertions_strided: int
+    merges: int
+    n_entries: int
+    n_strided_entries: int
+
+    def as_dict(self) -> dict:
+        return {
+            "layout": self.layout,
+            "head_dim": self.head_dim,
+            "n_heads": self.n_heads,
+            "seq_len": self.seq_len,
+            "stride_detect": self.stride_detect,
+            "accesses": self.accesses,
+            "trace_lines": self.trace_lines,
+            "covered_fraction": self.covered_fraction,
+            "hit_in": self.hit_in,
+            "hit_boundary": self.hit_boundary,
+            "hit_all": self.hit_all,
+            "write_violations": self.write_violations,
+            "insertions": self.insertions,
+            "insertions_strided": self.insertions_strided,
+            "merges": self.merges,
+            "n_entries": self.n_entries,
+            "n_strided_entries": self.n_strided_entries,
+        }
+
+
+def _covered_fraction(analyzer: TenAnalyzer, vaddrs) -> tuple[int, float]:
+    """(distinct trace lines, fraction covered by resident entries)."""
+    lines = {va - va % CACHELINE_BYTES for va in vaddrs}
+    covered = sum(1 for va in lines if analyzer.table.entry_of(va) is not None)
+    return len(lines), covered / len(lines) if lines else 0.0
+
+
+@experiment(
+    "attention_layout",
+    tags=("scenario", "cpu", "sweep"),
+    cost="fast",
+    render="render_attention",
+)
+def attention_layout(
+    layout: str = "head_major",
+    head_dim: int = 64,
+    n_heads: int = 8,
+    seq_len: int = 128,
+    block_q: int = 32,
+    block_k: int = 32,
+    stride_detect: bool = False,
+) -> AttentionLayoutResult:
+    """Replay one blockwise attention layer through the TenAnalyzer.
+
+    ``head_major`` storage gives each head a private contiguous block, so
+    per-head streams satisfy the paper's line-contiguity condition;
+    ``interleaved`` storage (fused-projection feature dim) makes each
+    head's stream run ``head_dim`` elements then skip the other heads —
+    short runs the Tensor Filter cannot collect once the run drops below
+    its collect target. The online-softmax rescale also rewrites O lines
+    once per key block, so covering entries trip Assert1.
+    """
+    config = AttentionConfig(
+        n_heads=n_heads,
+        seq_len=seq_len,
+        head_dim=head_dim,
+        block_q=block_q,
+        block_k=block_k,
+    )
+    registry = TensorRegistry(guard_bytes=PAGE_BYTES)
+    tensors = build_attention_tensors(registry, config, layout)
+    batch = attention_batch(tensors, config)
+    vaddrs, kinds, _, _ = batch.columns()
+    analyzer = TenAnalyzer(stride_detect=stride_detect)
+    analyzer.replay_window(vaddrs, kinds)
+    rates = analyzer.hit_rates()
+    trace_lines, covered = _covered_fraction(analyzer, vaddrs)
+    table_stats = analyzer.table.stats
+    return AttentionLayoutResult(
+        layout=layout,
+        head_dim=head_dim,
+        n_heads=n_heads,
+        seq_len=seq_len,
+        stride_detect=stride_detect,
+        accesses=len(batch),
+        trace_lines=trace_lines,
+        covered_fraction=covered,
+        hit_in=rates["hit_in"],
+        hit_boundary=rates["hit_boundary"],
+        hit_all=rates["hit_all"],
+        write_violations=int(analyzer.stats["write_violation"]),
+        insertions=int(table_stats["insertions"]),
+        insertions_strided=int(table_stats["insertions_strided"]),
+        merges=int(table_stats["merges"]),
+        n_entries=analyzer.table.n_entries,
+        n_strided_entries=analyzer.table.n_strided_entries,
+    )
+
+
+def render_attention(result: AttentionLayoutResult) -> str:
+    table = ascii_table(
+        ["layout", "head dim", "hit_in", "hit_all", "covered", "violations", "merges"],
+        [
+            (
+                result.layout,
+                result.head_dim,
+                pct(result.hit_in),
+                pct(result.hit_all),
+                pct(result.covered_fraction),
+                result.write_violations,
+                result.merges,
+            )
+        ],
+    )
+    return (
+        "Scenario — TenAnalyzer on a blockwise attention pass "
+        f"({result.n_heads} heads, seq {result.seq_len}, "
+        f"stride_detect={'on' if result.stride_detect else 'off'}, "
+        f"{result.accesses} accesses)\n\n" + table
+    )
+
+
+# -- stride_detection ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StrideDetectionResult:
+    """Detection accuracy on one constant-stride walk."""
+
+    stride_lines: int
+    rows: int
+    detect: bool
+    trace_lines: int
+    covered_fraction: float  #: after the cold (detection) pass
+    hit_all: float  #: warm-pass read hit rate
+    detections: int
+    stride_locks: int
+    insertions_strided: int
+    merges: int
+
+    def as_dict(self) -> dict:
+        return {
+            "stride_lines": self.stride_lines,
+            "rows": self.rows,
+            "detect": self.detect,
+            "trace_lines": self.trace_lines,
+            "covered_fraction": self.covered_fraction,
+            "hit_all": self.hit_all,
+            "detections": self.detections,
+            "stride_locks": self.stride_locks,
+            "insertions_strided": self.insertions_strided,
+            "merges": self.merges,
+        }
+
+
+@experiment(
+    "stride_detection",
+    tags=("scenario", "cpu", "sweep"),
+    cost="fast",
+    render="render_stride",
+)
+def stride_detection(
+    stride_lines: int = 1, rows: int = 256, detect: bool = True
+) -> StrideDetectionResult:
+    """Cold + warm read passes over a stride-``stride_lines`` line walk.
+
+    The walk is a width-one-line column slice of a ``(rows, stride_lines
+    * elems_per_line)`` tensor: one line per row, consecutive lines
+    ``stride_lines`` apart (``stride_lines=1`` degenerates to the
+    contiguous stream every prior experiment used). The cold pass feeds
+    detection; ``covered_fraction`` is how much of the walk ends up under
+    Meta Table entries, and ``hit_all`` is the warm-pass hit rate those
+    entries buy.
+    """
+    if stride_lines <= 0 or rows <= 0:
+        raise ConfigError("stride_lines and rows must be positive")
+    elems_per_line = CACHELINE_BYTES // DType.FP32.nbytes
+    registry = TensorRegistry(guard_bytes=PAGE_BYTES)
+    storage = registry.allocate(
+        "stride.walk", (rows, stride_lines * elems_per_line), DType.FP32
+    )
+    view = storage.slice_(1, 0, elems_per_line, name="stride.walk.col")
+    vaddrs = list(view.line_addresses())
+    kinds = [KIND_READ] * len(vaddrs)
+    analyzer = TenAnalyzer(stride_detect=detect)
+    analyzer.replay_window(vaddrs, kinds)  # cold: detection
+    trace_lines, covered = _covered_fraction(analyzer, vaddrs)
+    analyzer.reset_rate_counters()
+    analyzer.replay_window(vaddrs, kinds)  # warm: measure the benefit
+    return StrideDetectionResult(
+        stride_lines=stride_lines,
+        rows=rows,
+        detect=detect,
+        trace_lines=trace_lines,
+        covered_fraction=covered,
+        hit_all=analyzer.hit_rates()["hit_all"],
+        detections=int(analyzer.filter.stats["detections"]),
+        stride_locks=int(analyzer.filter.stats["stride_locks"]),
+        insertions_strided=int(analyzer.table.stats["insertions_strided"]),
+        merges=int(analyzer.table.stats["merges"]),
+    )
+
+
+def render_stride(result: StrideDetectionResult) -> str:
+    table = ascii_table(
+        ["stride (lines)", "detect", "covered", "warm hit_all", "detections", "merges"],
+        [
+            (
+                result.stride_lines,
+                "on" if result.detect else "off",
+                pct(result.covered_fraction),
+                pct(result.hit_all),
+                result.detections,
+                result.merges,
+            )
+        ],
+    )
+    return (
+        "Scenario — stream detection vs line stride "
+        f"({result.rows} lines walked)\n\n" + table
     )
 
 

@@ -9,9 +9,8 @@ ground truth used only for accuracy accounting, never by the hardware models.
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import List
 
 
 class AccessKind(enum.Enum):
@@ -41,39 +40,6 @@ class MemAccess:
 
     def is_inst(self) -> bool:
         return self.kind is AccessKind.INST
-
-
-def reads(addresses: Iterable[int], thread: int = 0, tensor_id: int = -1) -> Iterator[MemAccess]:
-    """Wrap raw line addresses into read accesses.
-
-    .. deprecated::
-        Use :meth:`repro.sim.trace_batch.TraceBatch.reads` — the columnar
-        constructor — and iterate the batch (or call ``to_accesses()``) if
-        objects are needed. This shim stays for out-of-tree callers.
-    """
-    warnings.warn(
-        "repro.sim.trace.reads is deprecated; use TraceBatch.reads",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    for addr in addresses:
-        yield MemAccess(vaddr=addr, kind=AccessKind.READ, thread=thread, tensor_id=tensor_id)
-
-
-def writes(addresses: Iterable[int], thread: int = 0, tensor_id: int = -1) -> Iterator[MemAccess]:
-    """Wrap raw line addresses into write accesses.
-
-    .. deprecated::
-        Use :meth:`repro.sim.trace_batch.TraceBatch.writes` — see
-        :func:`reads`.
-    """
-    warnings.warn(
-        "repro.sim.trace.writes is deprecated; use TraceBatch.writes",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    for addr in addresses:
-        yield MemAccess(vaddr=addr, kind=AccessKind.WRITE, thread=thread, tensor_id=tensor_id)
 
 
 def interleave_round_robin(streams: List[List[MemAccess]], chunk: int = 4) -> List[MemAccess]:

@@ -1,7 +1,8 @@
 """Tensor descriptors: the unit of protection in TensorTEE."""
 
 from repro.tensor.dtype import DType
+from repro.tensor.geometry import TensorGeometry, contiguous_strides
 from repro.tensor.tensor import TensorDesc
 from repro.tensor.registry import TensorRegistry
 
-__all__ = ["DType", "TensorDesc", "TensorRegistry"]
+__all__ = ["DType", "TensorDesc", "TensorGeometry", "TensorRegistry", "contiguous_strides"]

@@ -1,0 +1,243 @@
+"""Tensor geometry: shape, strides and storage offset.
+
+A :class:`TensorGeometry` describes how a logical tensor maps onto a flat
+storage allocation — the minimal metadata PyTorch keeps in
+``TensorGeometry`` / ``ExtraMeta`` (sizes, strides, storage offset) — so
+views, non-contiguous slices, transposes and channels-last layouts can be
+expressed without copying anything. Strides are in **elements** (PyTorch
+convention); byte math happens only at the line-enumeration boundary.
+
+Everything here is pure metadata: geometries know nothing about virtual
+addresses. :class:`repro.tensor.tensor.TensorDesc` binds a geometry to a
+named storage allocation and derives the line streams the trace generators
+and TEE components consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigError
+from repro.tensor.dtype import DType
+from repro.units import CACHELINE_BYTES
+
+
+def contiguous_strides(shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Row-major (C-order) element strides for ``shape``."""
+    strides: List[int] = [0] * len(shape)
+    acc = 1
+    for dim in range(len(shape) - 1, -1, -1):
+        strides[dim] = acc
+        acc *= shape[dim]
+    return tuple(strides)
+
+
+@dataclass(frozen=True)
+class TensorGeometry:
+    """How a logical tensor maps onto flat storage.
+
+    ``strides`` and ``storage_offset`` are in elements. Strides must be
+    positive: the simulator's access streams always walk storage forward,
+    and forward-only strides keep line enumeration trivially in-bounds.
+    Overlapping walks (e.g. a stride smaller than the inner extent) are
+    legal — line enumeration deduplicates in first-touch order.
+    """
+
+    shape: Tuple[int, ...]
+    strides: Tuple[int, ...]
+    storage_offset: int = 0
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(self.shape))
+        object.__setattr__(self, "strides", tuple(self.strides))
+        if not self.shape or any(dim <= 0 for dim in self.shape):
+            raise ConfigError(f"shape must be positive, got {self.shape}")
+        if len(self.strides) != len(self.shape):
+            raise ConfigError(
+                f"strides {self.strides} must pair with shape {self.shape}"
+            )
+        if any(stride <= 0 for stride in self.strides):
+            raise ConfigError(f"strides must be positive, got {self.strides}")
+        if self.storage_offset < 0:
+            raise ConfigError("storage offset must be non-negative")
+
+    @classmethod
+    def contiguous(
+        cls, shape: Tuple[int, ...], dtype: DType = DType.FP32, storage_offset: int = 0
+    ) -> "TensorGeometry":
+        """A dense row-major geometry over ``shape``."""
+        return cls(tuple(shape), contiguous_strides(tuple(shape)), storage_offset, dtype)
+
+    # -- shape metadata --------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes: elements x element width (not the storage span)."""
+        return self.n_elements * self.dtype.nbytes
+
+    @property
+    def is_contiguous(self) -> bool:
+        """Whether the row-major walk visits storage densely in order.
+
+        Size-1 dimensions carry no address information, so their strides
+        are ignored (PyTorch semantics). A non-zero ``storage_offset``
+        does not affect contiguity — it only shifts where the walk starts.
+        """
+        acc = 1
+        for dim in range(len(self.shape) - 1, -1, -1):
+            if self.shape[dim] == 1:
+                continue
+            if self.strides[dim] != acc:
+                return False
+            acc *= self.shape[dim]
+        return True
+
+    @property
+    def span_elements(self) -> int:
+        """One past the highest element offset the walk can touch."""
+        last = self.storage_offset
+        for dim, stride in zip(self.shape, self.strides):
+            last += (dim - 1) * stride
+        return last + 1
+
+    # -- derived views ---------------------------------------------------------
+
+    def view(self, shape: Tuple[int, ...]) -> "TensorGeometry":
+        """Reinterpret a contiguous geometry under a new shape."""
+        shape = tuple(shape)
+        if not self.is_contiguous:
+            raise ConfigError("view requires a contiguous geometry")
+        new = TensorGeometry.contiguous(shape, self.dtype, self.storage_offset)
+        if new.n_elements != self.n_elements:
+            raise ConfigError(
+                f"view shape {shape} has {new.n_elements} elements, "
+                f"source has {self.n_elements}"
+            )
+        return new
+
+    def slice_(self, dim: int, start: int, stop: int, step: int = 1) -> "TensorGeometry":
+        """Narrow dimension ``dim`` to ``[start, stop)`` with ``step``."""
+        dim = self._check_dim(dim)
+        if step <= 0:
+            raise ConfigError("slice step must be positive")
+        if not (0 <= start < stop <= self.shape[dim]):
+            raise ConfigError(
+                f"slice [{start}, {stop}) out of bounds for dim {dim} "
+                f"of extent {self.shape[dim]}"
+            )
+        length = -(-(stop - start) // step)
+        shape = self.shape[:dim] + (length,) + self.shape[dim + 1 :]
+        strides = (
+            self.strides[:dim] + (self.strides[dim] * step,) + self.strides[dim + 1 :]
+        )
+        offset = self.storage_offset + start * self.strides[dim]
+        return TensorGeometry(shape, strides, offset, self.dtype)
+
+    def select(self, dim: int, index: int) -> "TensorGeometry":
+        """Drop dimension ``dim`` by fixing it at ``index``."""
+        dim = self._check_dim(dim)
+        if self.ndim == 1:
+            raise ConfigError("select on a 1D geometry would leave no dims")
+        if not 0 <= index < self.shape[dim]:
+            raise ConfigError(
+                f"index {index} out of bounds for dim {dim} of extent {self.shape[dim]}"
+            )
+        shape = self.shape[:dim] + self.shape[dim + 1 :]
+        strides = self.strides[:dim] + self.strides[dim + 1 :]
+        offset = self.storage_offset + index * self.strides[dim]
+        return TensorGeometry(shape, strides, offset, self.dtype)
+
+    def transpose(self, dim0: int = -2, dim1: int = -1) -> "TensorGeometry":
+        """Swap two dimensions (a pure metadata permutation)."""
+        dim0 = self._check_dim(dim0)
+        dim1 = self._check_dim(dim1)
+        shape = list(self.shape)
+        strides = list(self.strides)
+        shape[dim0], shape[dim1] = shape[dim1], shape[dim0]
+        strides[dim0], strides[dim1] = strides[dim1], strides[dim0]
+        return replace(self, shape=tuple(shape), strides=tuple(strides))
+
+    def channels_last(self) -> "TensorGeometry":
+        """NHWC strides for an NCHW shape (a relayout, not a byte view).
+
+        The logical shape stays (N, C, H, W); the storage order becomes
+        channels-last, i.e. the geometry describes a *fresh* allocation
+        laid out NHWC — the PyTorch ``memory_format`` notion rather than
+        a view of the same bytes.
+        """
+        if self.ndim != 4:
+            raise ConfigError("channels_last needs a 4D (N, C, H, W) geometry")
+        n, c, h, w = self.shape
+        return TensorGeometry(
+            (n, c, h, w), (c * h * w, 1, w * c, c), self.storage_offset, self.dtype
+        )
+
+    def _check_dim(self, dim: int) -> int:
+        if dim < 0:
+            dim += self.ndim
+        if not 0 <= dim < self.ndim:
+            raise ConfigError(f"dim {dim} out of range for {self.ndim}D geometry")
+        return dim
+
+    # -- enumeration -----------------------------------------------------------
+
+    def element_offsets(self) -> Iterator[int]:
+        """Element offsets of the row-major walk (storage units)."""
+        inner_extent = self.shape[-1]
+        inner_stride = self.strides[-1]
+        for outer in itertools.product(*(range(d) for d in self.shape[:-1])):
+            base = self.storage_offset + sum(
+                i * s for i, s in zip(outer, self.strides)
+            )
+            for j in range(inner_extent):
+                yield base + j * inner_stride
+        return
+
+    def line_addresses(self, base_va: int) -> List[int]:
+        """Distinct cacheline addresses touched, in first-touch order.
+
+        The walk is the row-major element order; every line appears exactly
+        once, the first time an element lands on it. For a contiguous
+        geometry with ``storage_offset == 0`` and a line-aligned
+        ``base_va`` this is exactly the legacy ascending enumeration.
+        """
+        esize = self.dtype.nbytes
+        line = CACHELINE_BYTES
+        seen = set()
+        out: List[int] = []
+        inner_extent = self.shape[-1]
+        inner_stride_bytes = self.strides[-1] * esize
+        for outer in itertools.product(*(range(d) for d in self.shape[:-1])):
+            start = base_va + esize * (
+                self.storage_offset + sum(i * s for i, s in zip(outer, self.strides))
+            )
+            if inner_stride_bytes < line:
+                # Dense (or overlapping) inner walk: whole-row line range.
+                first = start - start % line
+                end = start + (inner_extent - 1) * inner_stride_bytes + esize
+                for addr in range(first, end, line):
+                    if addr not in seen:
+                        seen.add(addr)
+                        out.append(addr)
+            else:
+                for j in range(inner_extent):
+                    byte = start + j * inner_stride_bytes
+                    addr = byte - byte % line
+                    if addr not in seen:
+                        seen.add(addr)
+                        out.append(addr)
+        return out

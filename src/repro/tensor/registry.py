@@ -73,6 +73,23 @@ class TensorRegistry:
         self._next_id += 1
         return tensor
 
+    def register_view(self, view: TensorDesc) -> TensorDesc:
+        """Index a derived view by name (no new storage, same tensor id).
+
+        Views created with :meth:`TensorDesc.view` / ``slice_`` /
+        ``select`` / ``transpose`` / ``channels_last`` share their
+        parent's allocation; registering makes them addressable by name.
+        ``find``/``by_id`` keep resolving to the owning storage tensor.
+        """
+        if view.name in self._by_name:
+            raise ConfigError(f"tensor name {view.name!r} already allocated")
+        if view.tensor_id not in self._by_id:
+            raise ConfigError(
+                f"view {view.name!r} does not derive from an allocated tensor"
+            )
+        self._by_name[view.name] = view
+        return view
+
     def by_id(self, tensor_id: int) -> TensorDesc:
         if tensor_id not in self._by_id:
             raise ConfigError(f"unknown tensor id {tensor_id}")

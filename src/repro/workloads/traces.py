@@ -18,8 +18,8 @@ preserving stream structure (see DESIGN.md Sec. 2).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 from repro import vec
 from repro.errors import ConfigError
@@ -33,7 +33,18 @@ from repro.units import CACHELINE_BYTES
 
 @dataclass
 class AdamGroup:
-    """The five fused buffers of one layer's optimizer step."""
+    """The five fused buffers of one layer's optimizer step.
+
+    Under the default ``"flat"`` layout each role is its own contiguous
+    allocation. Under ``"interleaved"`` the four fp32 roles are *views*
+    into one fused array-of-structs buffer (``fused``, shape
+    ``(elems, 4)``): role ``k`` is ``fused.select(1, k)`` with element
+    stride 4, so every role's walk covers every line of the buffer — the
+    per-role streams the memory controller sees are no longer
+    line-contiguous and the read-modify-write rounds revisit lines they
+    already wrote, which is exactly the layout-sensitivity the
+    TenAnalyzer sweeps measure.
+    """
 
     layer: int
     weight32: TensorDesc
@@ -41,6 +52,8 @@ class AdamGroup:
     variance: TensorDesc
     grad32: TensorDesc
     weight16: TensorDesc
+    layout: str = "flat"
+    fused: Optional[TensorDesc] = None
 
     @property
     def read_tensors(self) -> Tuple[TensorDesc, ...]:
@@ -58,24 +71,57 @@ def build_adam_groups(
     registry: TensorRegistry,
     n_layers: int,
     lines_per_tensor: int,
+    layout: str = "flat",
 ) -> List[AdamGroup]:
-    """Allocate fused per-layer Adam buffers scaled to ``lines_per_tensor``."""
+    """Allocate per-layer Adam buffers scaled to ``lines_per_tensor``.
+
+    ``layout="flat"`` (default) allocates each fp32 role contiguously —
+    the DeepSpeed fused-buffer model every earlier experiment used.
+    ``layout="interleaved"`` packs the four fp32 roles as one
+    array-of-structs buffer per layer and derives the role tensors as
+    stride-4 :meth:`TensorDesc.select` views (registered by name, same
+    storage ``tensor_id``); the fp16 output stays a separate allocation.
+    """
+    if layout not in ("flat", "interleaved"):
+        raise ConfigError(f"unknown adam layout {layout!r}")
     if lines_per_tensor < 8:
         raise ConfigError("need at least 8 lines per tensor for sharding")
     elems32 = lines_per_tensor * CACHELINE_BYTES // DType.FP32.nbytes
     elems16_lines = max(1, lines_per_tensor // 2)
     elems16 = elems16_lines * CACHELINE_BYTES // DType.FP16.nbytes
+    roles = ("weight32", "momentum", "variance", "grad32")
+    suffixes = ("w32", "m", "v", "g")
     groups = []
     for layer in range(n_layers):
         prefix = f"adam.layer{layer}"
+        if layout == "flat":
+            role_tensors = tuple(
+                registry.allocate(f"{prefix}.{sfx}", (elems32,), DType.FP32, role)
+                for role, sfx in zip(roles, suffixes)
+            )
+            fused = None
+        else:
+            fused = registry.allocate(
+                f"{prefix}.fused", (elems32, len(roles)), DType.FP32, "fused"
+            )
+            role_tensors = tuple(
+                registry.register_view(
+                    replace(
+                        fused.select(1, slot, name=f"{prefix}.{sfx}"), role=role
+                    )
+                )
+                for slot, (role, sfx) in enumerate(zip(roles, suffixes))
+            )
         groups.append(
             AdamGroup(
                 layer=layer,
-                weight32=registry.allocate(f"{prefix}.w32", (elems32,), DType.FP32, "weight32"),
-                momentum=registry.allocate(f"{prefix}.m", (elems32,), DType.FP32, "momentum"),
-                variance=registry.allocate(f"{prefix}.v", (elems32,), DType.FP32, "variance"),
-                grad32=registry.allocate(f"{prefix}.g", (elems32,), DType.FP32, "grad32"),
+                weight32=role_tensors[0],
+                momentum=role_tensors[1],
+                variance=role_tensors[2],
+                grad32=role_tensors[3],
                 weight16=registry.allocate(f"{prefix}.w16", (elems16,), DType.FP16, "weight16"),
+                layout=layout,
+                fused=fused,
             )
         )
     return groups
@@ -427,3 +473,184 @@ def gemm_trace(
 ) -> List[MemAccess]:
     """Object view of :func:`gemm_batch` (legacy API)."""
     return gemm_batch(a, b, c, config, thread).to_accesses()
+
+
+# -- blockwise attention (QK^T / softmax / V) --------------------------------
+
+
+@dataclass
+class AttentionConfig:
+    """One attention layer's blockwise (FlashAttention-style) pass.
+
+    ``block_q`` x ``block_k`` is the score tile: for each query block the
+    kernel streams every key/value block and *rescales* the output block
+    in place (the online-softmax read-modify-write), so O lines are
+    written once per key block — the repeated-write pattern that trips
+    TenAnalyzer's Assert1 on layouts where heads share cachelines.
+    """
+
+    n_heads: int = 8
+    seq_len: int = 128
+    head_dim: int = 64
+    block_q: int = 32
+    block_k: int = 32
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        for total, block, label in (
+            (self.seq_len, self.block_q, "block_q"),
+            (self.seq_len, self.block_k, "block_k"),
+        ):
+            if total % block:
+                raise ConfigError(
+                    f"seq_len={total} not divisible by {label}={block}"
+                )
+
+
+@dataclass
+class AttentionHead:
+    """Per-head 2D ``(seq_len, head_dim)`` views of Q/K/V/O."""
+
+    head: int
+    q: TensorDesc
+    k: TensorDesc
+    v: TensorDesc
+    o: TensorDesc
+
+    def all_views(self) -> Tuple[TensorDesc, ...]:
+        return (self.q, self.k, self.v, self.o)
+
+
+@dataclass
+class AttentionTensors:
+    """The four storage tensors plus their per-head views."""
+
+    layout: str
+    q: TensorDesc
+    k: TensorDesc
+    v: TensorDesc
+    o: TensorDesc
+    heads: List[AttentionHead]
+
+    def storage_tensors(self) -> Tuple[TensorDesc, ...]:
+        return (self.q, self.k, self.v, self.o)
+
+
+def build_attention_tensors(
+    registry: TensorRegistry,
+    config: AttentionConfig,
+    layout: str = "head_major",
+) -> AttentionTensors:
+    """Allocate Q/K/V/O and derive one 2D view per head.
+
+    ``layout="head_major"`` stores ``(n_heads, seq_len, head_dim)``: each
+    head's view (``select(0, h)``) walks a private contiguous block, so
+    its line stream is line-contiguous — the friendly case.
+    ``layout="interleaved"`` stores ``(seq_len, n_heads * head_dim)``
+    (the fused-projection layout attention kernels actually read before
+    any transpose): each head's view (``slice_`` over the feature dim)
+    touches ``head_dim`` elements per row then skips the other heads'
+    features, producing short runs with large gaps — the case that
+    degrades stream detection.
+    """
+    if layout not in ("head_major", "interleaved"):
+        raise ConfigError(f"unknown attention layout {layout!r}")
+    h, s, d = config.n_heads, config.seq_len, config.head_dim
+    shape = (h, s, d) if layout == "head_major" else (s, h * d)
+    tensors = {}
+    for sym in ("q", "k", "v", "o"):
+        role = "activation" if sym != "o" else "output"
+        tensors[sym] = registry.allocate(f"attn.{sym.upper()}", shape, config.dtype, role)
+    heads = []
+    for head in range(h):
+        views = {}
+        for sym, storage in tensors.items():
+            name = f"attn.{sym.upper()}.h{head}"
+            if layout == "head_major":
+                view = storage.select(0, head, name=name)
+            else:
+                view = storage.slice_(1, head * d, (head + 1) * d, name=name)
+            views[sym] = registry.register_view(view)
+        heads.append(AttentionHead(head=head, **views))
+    return AttentionTensors(layout=layout, heads=heads, **tensors)
+
+
+#: Column burst: (vaddr, kind, tensor_id) triples of one scheduling unit.
+_Burst = Tuple[List[int], List[int], List[int]]
+
+
+def _attention_head_bursts(head: AttentionHead, config: AttentionConfig) -> List[_Burst]:
+    """One head's blockwise pass as an ordered burst list.
+
+    Per query block: one burst reading the Q rows, then one burst per key
+    block reading the K and V rows and read-modify-writing the O rows
+    (the online-softmax rescale). Line enumeration follows each view's
+    strides via :meth:`TensorDesc.tile_row_lines`.
+    """
+    d = config.head_dim
+
+    def emit_rows(burst: _Burst, view: TensorDesc, row0: int, rows: int, code: int) -> None:
+        vaddr, kind, tensor_id = burst
+        seen_rows = set()
+        for r in range(row0, row0 + rows):
+            lines = view.tile_row_lines(r, 0, d)
+            fresh = [a for a in lines if a not in seen_rows]
+            seen_rows.update(fresh)
+            vaddr.extend(fresh)
+            kind.extend([code] * len(fresh))
+            tensor_id.extend([view.tensor_id] * len(fresh))
+
+    bursts: List[_Burst] = []
+    for q0 in range(0, config.seq_len, config.block_q):
+        q_burst: _Burst = ([], [], [])
+        emit_rows(q_burst, head.q, q0, config.block_q, KIND_READ)
+        bursts.append(q_burst)
+        for k0 in range(0, config.seq_len, config.block_k):
+            kv_burst: _Burst = ([], [], [])
+            emit_rows(kv_burst, head.k, k0, config.block_k, KIND_READ)
+            emit_rows(kv_burst, head.v, k0, config.block_k, KIND_READ)
+            # Rescale: the O block is re-read and re-written every key
+            # block — within one logical update round, so a covering Meta
+            # Table entry sees the same line written twice (Assert1).
+            emit_rows(kv_burst, head.o, q0, config.block_q, KIND_READ)
+            emit_rows(kv_burst, head.o, q0, config.block_q, KIND_WRITE)
+            bursts.append(kv_burst)
+    return bursts
+
+
+def attention_batch(
+    tensors: AttentionTensors, config: AttentionConfig
+) -> TraceBatch:
+    """One attention layer as seen by the memory controller.
+
+    One hardware thread per head; the controller sees the deterministic
+    round-robin interleave of per-head bursts. A single construction path
+    serves both vectorize modes (the assembly is pure column extends, so
+    there is nothing to vectorize differently) — parity is structural.
+    """
+    per_head = [_attention_head_bursts(h, config) for h in tensors.heads]
+    vaddr: List[int] = []
+    kind: List[int] = []
+    thread_col: List[int] = []
+    tensor_id: List[int] = []
+    cursors = [0] * len(per_head)
+    remaining = sum(len(b) for b in per_head)
+    while remaining:
+        for t, bursts in enumerate(per_head):
+            if cursors[t] >= len(bursts):
+                continue
+            b_vaddr, b_kind, b_tensor = bursts[cursors[t]]
+            vaddr.extend(b_vaddr)
+            kind.extend(b_kind)
+            tensor_id.extend(b_tensor)
+            thread_col.extend([t] * len(b_vaddr))
+            cursors[t] += 1
+            remaining -= 1
+    return TraceBatch.from_columns(vaddr, kind, thread_col, tensor_id)
+
+
+def attention_trace(
+    tensors: AttentionTensors, config: AttentionConfig
+) -> List[MemAccess]:
+    """Object view of :func:`attention_batch`."""
+    return attention_batch(tensors, config).to_accesses()

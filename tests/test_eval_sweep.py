@@ -451,7 +451,13 @@ class TestOrchestratorPoints:
 class TestScenarioExperiments:
     def test_scenarios_registered(self):
         names = {s.name for s in REGISTRY.select(tags=("scenario",))}
-        assert names == {"scale_npu_pipeline", "mee_cache_geometry", "mac_policy"}
+        assert names == {
+            "scale_npu_pipeline",
+            "mee_cache_geometry",
+            "mac_policy",
+            "attention_layout",
+            "stride_detection",
+        }
 
     def test_mee_geometry_capacity_monotonic(self):
         small = REGISTRY.get("mee_cache_geometry").func(capacity_kib=8, iterations=2)

@@ -101,13 +101,9 @@ class TestTrace:
         assert r[0].thread == 1 and r[0].tensor_id == 7
         assert w[0].is_write()
 
-    def test_deprecated_free_functions_warn_and_still_work(self):
-        with pytest.warns(DeprecationWarning, match="TraceBatch.reads"):
-            r = list(trace.reads([0, 64], thread=1, tensor_id=7))
-        with pytest.warns(DeprecationWarning, match="TraceBatch.writes"):
-            w = list(trace.writes([128]))
-        assert r == TraceBatch.reads([0, 64], thread=1, tensor_id=7).to_accesses()
-        assert w == TraceBatch.writes([128]).to_accesses()
+    def test_deprecated_free_functions_removed(self):
+        assert not hasattr(trace, "reads")
+        assert not hasattr(trace, "writes")
 
     def test_interleave_preserves_all_accesses(self):
         s1 = TraceBatch.reads(range(0, 640, 64)).to_accesses()

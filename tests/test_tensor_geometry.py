@@ -1,0 +1,183 @@
+"""Property tests for the geometry-aware tensor API.
+
+Pins the tentpole contracts of the TensorGeometry redesign:
+
+- view/slice/select/transpose compositions address the same storage
+  elements the composed index arithmetic says they should (round-trips);
+- contiguous ``line_addresses()`` is byte-for-byte the legacy ascending
+  enumeration;
+- strided enumeration is duplicate-free and stays inside the storage
+  span;
+- shard slices are disjoint and complete under any geometry;
+- ``contains`` agrees with ``end_va`` exactly at the tail-line boundary
+  (the documented line-granularity semantics).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.dtype import DType
+from repro.tensor.geometry import TensorGeometry
+from repro.tensor.tensor import TensorDesc
+from repro.units import CACHELINE_BYTES
+
+LINE = CACHELINE_BYTES
+BASE = 0x7F00_0000_0000
+
+shapes_2d = st.tuples(st.integers(1, 12), st.integers(1, 12))
+shapes_3d = st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+dtypes = st.sampled_from([DType.FP32, DType.FP16])
+
+
+def geometries(draw):
+    """A (possibly strided, possibly offset) small geometry."""
+    shape = draw(st.lists(st.integers(1, 6), min_size=1, max_size=3))
+    pad = draw(st.lists(st.integers(0, 3), min_size=len(shape), max_size=len(shape)))
+    # Build strides of a row-major walk over a padded box, so strides are
+    # valid (positive, non-overlapping) but generally non-contiguous.
+    strides = [0] * len(shape)
+    acc = 1
+    for dim in range(len(shape) - 1, -1, -1):
+        strides[dim] = acc
+        acc *= shape[dim] + pad[dim]
+    offset = draw(st.integers(0, 8))
+    dtype = draw(dtypes)
+    return TensorGeometry(tuple(shape), tuple(strides), offset, dtype)
+
+
+padded_geometries = st.composite(geometries)()
+
+
+class TestComposition:
+    @given(shape=shapes_2d, dtype=dtypes)
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_round_trips(self, shape, dtype):
+        g = TensorGeometry.contiguous(shape, dtype)
+        assert g.transpose().transpose() == g
+
+    @given(g=padded_geometries)
+    @settings(max_examples=100, deadline=None)
+    def test_transpose_preserves_element_set(self, g):
+        if g.ndim < 2:
+            return
+        assert set(g.transpose(0, -1).element_offsets()) == set(g.element_offsets())
+
+    @given(shape=shapes_3d, dtype=dtypes)
+    @settings(max_examples=50, deadline=None)
+    def test_view_flatten_round_trips(self, shape, dtype):
+        g = TensorGeometry.contiguous(shape, dtype)
+        flat = g.view((g.n_elements,))
+        assert flat.view(shape) == g
+        assert list(flat.element_offsets()) == list(g.element_offsets())
+
+    @given(g=padded_geometries, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_slice_offsets_match_index_arithmetic(self, g, data):
+        dim = data.draw(st.integers(0, g.ndim - 1))
+        start = data.draw(st.integers(0, g.shape[dim] - 1))
+        stop = data.draw(st.integers(start + 1, g.shape[dim]))
+        step = data.draw(st.integers(1, 3))
+        sliced = g.slice_(dim, start, stop, step)
+        full = list(g.element_offsets())
+        picked = set(sliced.element_offsets())
+        expected = set()
+        for flat_index, offset in enumerate(full):
+            index = []
+            rest = flat_index
+            for extent in reversed(g.shape):
+                index.append(rest % extent)
+                rest //= extent
+            index.reverse()
+            if index[dim] >= start and index[dim] < stop and (index[dim] - start) % step == 0:
+                expected.add(offset)
+        assert picked == expected
+
+    @given(g=padded_geometries, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_select_equals_width_one_slice(self, g, data):
+        if g.ndim < 2:
+            return
+        dim = data.draw(st.integers(0, g.ndim - 1))
+        index = data.draw(st.integers(0, g.shape[dim] - 1))
+        selected = g.select(dim, index)
+        sliced = g.slice_(dim, index, index + 1)
+        assert list(selected.element_offsets()) == list(sliced.element_offsets())
+
+
+class TestEnumeration:
+    @given(shape=shapes_2d, dtype=dtypes)
+    @settings(max_examples=50, deadline=None)
+    def test_contiguous_lines_equal_legacy(self, shape, dtype):
+        t = TensorDesc("t", BASE, shape, dtype)
+        legacy = [BASE + i * LINE for i in range(-(-t.nbytes // LINE))]
+        assert list(t.line_addresses()) == legacy
+        assert t.n_lines == len(legacy)
+
+    @given(g=padded_geometries)
+    @settings(max_examples=100, deadline=None)
+    def test_strided_lines_unique_and_in_bounds(self, g):
+        lines = g.line_addresses(BASE)
+        assert len(lines) == len(set(lines))
+        span_end = BASE + g.span_elements * g.dtype.nbytes
+        for addr in lines:
+            assert addr % LINE == 0
+            assert BASE <= addr < span_end
+        # Every element's line is present.
+        esize = g.dtype.nbytes
+        expected = {
+            (BASE + off * esize) - (BASE + off * esize) % LINE
+            for off in g.element_offsets()
+        }
+        assert set(lines) == expected
+
+    @given(g=padded_geometries, n_shards=st.integers(1, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_shards_disjoint_and_complete(self, g, n_shards):
+        t = TensorDesc(
+            "t", BASE, g.shape, g.dtype,
+            strides=g.strides, storage_offset=g.storage_offset,
+        )
+        shards = [t.shard_lines(n_shards, s) for s in range(n_shards)]
+        merged = [a for shard in shards for a in shard]
+        assert len(merged) == len(set(merged)) == t.n_lines
+        assert set(merged) == set(t.line_addresses())
+        sizes = sorted(len(s) for s in shards)
+        assert sizes[-1] - sizes[0] <= 1  # balanced to within one line
+
+
+class TestTailLineBoundary:
+    def test_contains_agrees_with_end_va_at_tail(self):
+        # 100 fp32 elements = 400 bytes = 6.25 lines -> 7 whole lines.
+        t = TensorDesc("t", BASE, (100,), DType.FP32)
+        assert t.n_lines == 7
+        assert t.end_va == BASE + 7 * LINE
+        # The tail line belongs to the tensor past the payload end...
+        assert t.contains(BASE + 400)  # first byte past the payload
+        assert t.contains(t.end_va - 1)
+        # ...and the bound is exact.
+        assert not t.contains(t.end_va)
+        assert not t.contains(BASE - 1)
+
+    @given(elems=st.integers(1, 300), dtype=dtypes)
+    @settings(max_examples=100, deadline=None)
+    def test_contains_iff_within_end_va(self, elems, dtype):
+        t = TensorDesc("t", BASE, (elems,), dtype)
+        for probe in (BASE, t.end_va - 1, t.end_va, t.end_va + LINE, BASE - 1):
+            assert t.contains(probe) == (t.base_va <= probe < t.end_va)
+
+    @given(g=padded_geometries)
+    @settings(max_examples=100, deadline=None)
+    def test_strided_contains_matches_covered_lines(self, g):
+        t = TensorDesc(
+            "t", BASE, g.shape, g.dtype,
+            strides=g.strides, storage_offset=g.storage_offset,
+        )
+        covered = set(t.line_addresses())
+        assert t.end_va == max(covered) + LINE
+        for addr in covered:
+            assert t.contains(addr)
+            assert t.contains(addr + LINE - 1)
+        assert not t.contains(t.end_va)
+        holes = set(range(min(covered), max(covered) + LINE, LINE)) - covered
+        for addr in holes:
+            assert not t.contains(addr)
